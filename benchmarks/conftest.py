@@ -1,0 +1,41 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each benchmark regenerates one figure of the paper: it runs the pipeline
+that produces the figure's data, asserts the *shape* the paper reports
+(who wins, by roughly what factor, where structure appears), and prints
+the reproduced rows so ``pytest benchmarks/ --benchmark-only -s`` shows
+the tables next to the timing numbers.
+
+Heavy pipelines run once per benchmark via ``benchmark.pedantic`` —
+the timing numbers measure the compiler/simulator themselves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import ProcessorSpec
+from repro.sim import SimulationOptions, simulate
+from repro.transform import CompileOptions, compile_application
+
+#: The per-element target every figure bench compiles for.
+BENCH_PROC = ProcessorSpec(clock_hz=20e6, memory_words=512)
+
+
+def compile_and_simulate(app, *, proc=BENCH_PROC, frames=4, mapping="greedy",
+                         **opts):
+    compiled = compile_application(
+        app, proc, CompileOptions(mapping=mapping, **opts)
+    )
+    result = simulate(compiled, SimulationOptions(frames=frames))
+    return compiled, result
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def bench_proc():
+    return BENCH_PROC

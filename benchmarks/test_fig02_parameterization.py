@@ -1,0 +1,43 @@
+"""FIG2 — the parameterized application graph (Figure 2).
+
+Regenerates the port annotations of Figure 2 for the running example and
+checks every parameter the figure shows: window sizes, steps, offsets, and
+the replicated coefficient/bin inputs.
+"""
+
+from repro.apps import build_image_pipeline
+from repro.geometry import Offset2D, Size2D, Step2D
+
+
+def test_fig02_port_parameterization(benchmark):
+    app = benchmark.pedantic(
+        lambda: build_image_pipeline(100, 100, 50.0), rounds=1, iterations=1
+    )
+
+    conv = app.kernel("Conv5x5")
+    assert conv.inputs["in"].window == Size2D(5, 5)
+    assert conv.inputs["in"].step == Step2D(1, 1)
+    assert conv.inputs["in"].offset == Offset2D(2, 2)
+    assert conv.outputs["out"].window == Size2D(1, 1)
+    # "coeff (5x5)[5,5] [2.0,2.0]" and replicated (dashed edge).
+    assert conv.inputs["coeff"].window == Size2D(5, 5)
+    assert conv.inputs["coeff"].step == Step2D(5, 5)
+    assert conv.inputs["coeff"].replicated
+
+    median = app.kernel("Median3x3")
+    assert median.inputs["in"].window == Size2D(3, 3)
+    assert median.inputs["in"].offset == Offset2D(1, 1)
+
+    sub = app.kernel("Subtract")
+    for port in ("in0", "in1"):
+        assert sub.inputs[port].window == Size2D(1, 1)
+        assert sub.inputs[port].offset == Offset2D(0, 0)
+
+    hist = app.kernel("Histogram")
+    assert hist.outputs["out"].window == Size2D(32, 1)
+    assert hist.inputs["bins"].window == Size2D(32, 1)
+    assert hist.inputs["bins"].replicated
+
+    print()
+    print("FIG2 reproduced graph:")
+    print(app.describe())

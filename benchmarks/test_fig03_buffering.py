@@ -1,0 +1,49 @@
+"""FIG3 — automatic buffer and inset insertion (Figure 3).
+
+Runs the align and buffering passes on the Figure 1(b) application and
+checks the figure's structure: a ``(1x1)[1,1] --> (3x3)[1,1]`` buffer in
+front of the median, a ``(1x1)[1,1] --> (5x5)[1,1]`` buffer in front of
+the convolution, and an inset kernel trimming one pixel per side on the
+median path.
+"""
+
+from repro.analysis import analyze_dataflow, validate_physical
+from repro.apps import build_image_pipeline
+from repro.kernels import BufferKernel, InsetKernel
+from repro.transform import align_application, insert_buffers
+
+
+def run_passes():
+    app = build_image_pipeline(24, 16, 100.0)
+    insets = align_application(app)
+    buffers = insert_buffers(app)
+    return app, insets, buffers
+
+
+def test_fig03_buffers_and_inset(benchmark):
+    app, insets, buffers = benchmark.pedantic(run_passes, rounds=1,
+                                              iterations=1)
+
+    assert insets == ["offset(in1)"]
+    inset = app.kernel("offset(in1)")
+    assert isinstance(inset, InsetKernel)
+    assert inset.trim == (1, 1, 1, 1)  # "(0,0)[1,1,1,1]" in the figure
+
+    assert sorted(buffers) == ["buf_Conv5x5.in", "buf_Median3x3.in"]
+    med_buf = app.kernel("buf_Median3x3.in")
+    conv_buf = app.kernel("buf_Conv5x5.in")
+    assert isinstance(med_buf, BufferKernel)
+    assert (med_buf.window_w, med_buf.window_h) == (3, 3)
+    assert med_buf.storage_rows == 6       # "Buffer [Wx6]" boxes
+    assert (conv_buf.window_w, conv_buf.window_h) == (5, 5)
+    assert conv_buf.storage_rows == 10     # "Buffer [Wx10]" boxes
+
+    # The transformed graph is physically consistent: every channel now
+    # carries chunks matching its consumer's window.
+    validate_physical(app, analyze_dataflow(app))
+
+    print()
+    print("FIG3 inserted kernels:")
+    print(f"  {med_buf.name}: {med_buf.describe_parameterization()}")
+    print(f"  {conv_buf.name}: {conv_buf.describe_parameterization()}")
+    print(f"  {inset.name}: trim {inset.trim}")

@@ -1,0 +1,42 @@
+"""Compiler analyses: dataflow, alignment, resources, validation."""
+
+from .alignment import Misalignment, check_alignment, find_misalignments
+from .dataflow import DataflowResult, KernelFlow, analyze_dataflow
+from .latency import LatencyEstimate, StreamTiming, estimate_latency
+from .report import compile_report
+from .schedule import (
+    ProcessorSchedule,
+    ScheduleEntry,
+    StaticSchedule,
+    build_static_schedule,
+)
+from .resources import (
+    DEFAULT_UTILIZATION_TARGET,
+    KernelResources,
+    ResourceAnalysis,
+    analyze_resources,
+)
+from .validate import validate_application, validate_physical
+
+__all__ = [
+    "Misalignment",
+    "check_alignment",
+    "find_misalignments",
+    "DataflowResult",
+    "KernelFlow",
+    "analyze_dataflow",
+    "compile_report",
+    "LatencyEstimate",
+    "StreamTiming",
+    "estimate_latency",
+    "ProcessorSchedule",
+    "ScheduleEntry",
+    "StaticSchedule",
+    "build_static_schedule",
+    "DEFAULT_UTILIZATION_TARGET",
+    "KernelResources",
+    "ResourceAnalysis",
+    "analyze_resources",
+    "validate_application",
+    "validate_physical",
+]

@@ -1,0 +1,48 @@
+"""Consolidated textual reports for compiled applications.
+
+One call renders everything the paper's figures annotate: the graph with
+port parameterizations (Figure 2 style), per-channel streams from the
+dataflow analysis, per-kernel resource requirements and degrees (Section
+IV), the parallelization actions (Figure 4), and the kernel-to-processor
+mapping (Figure 12).  Used by the CLI's ``compile`` command and handy in
+notebooks/debug sessions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..transform.compile import CompiledApp
+
+__all__ = ["compile_report"]
+
+
+def compile_report(compiled: "CompiledApp", *, streams: bool = True) -> str:
+    """A multi-section report of everything the compiler decided."""
+    sections = [
+        "=" * 72,
+        f"COMPILE REPORT — {compiled.source.name}",
+        "=" * 72,
+        "",
+        "## Summary",
+        compiled.describe(),
+        "",
+        "## Transformed graph",
+        compiled.graph.describe(),
+    ]
+    if streams:
+        sections += ["", "## Streams (dataflow analysis)",
+                     compiled.dataflow.describe()]
+    sections += [
+        "",
+        "## Resources and parallelism degrees",
+        compiled.resources.describe(),
+        "",
+        "## Parallelization",
+        compiled.parallelization.describe(),
+        "",
+        "## Kernel-to-processor mapping",
+        compiled.mapping.describe(),
+    ]
+    return "\n".join(sections)

@@ -1,0 +1,65 @@
+"""Static validation of application graphs.
+
+Two layers of checking:
+
+* :func:`validate_application` — programmer-facing checks on the logical
+  graph (connectivity, statically bounded token rates, declared input
+  rates), run before any compilation pass.
+* :func:`validate_physical` — compiler-facing invariants on a transformed
+  graph: after buffering, every channel must carry chunks exactly matching
+  its consumer's window, because the runtime consumes one chunk per firing
+  per input (all rate conversion lives inside structural kernels).
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError, RateError
+from ..graph.app import ApplicationGraph
+from .dataflow import DataflowResult, analyze_dataflow
+
+__all__ = ["validate_application", "validate_physical"]
+
+
+def validate_application(app: ApplicationGraph) -> None:
+    """Programmer-facing sanity checks; raises on the first problem."""
+    if not app.kernels:
+        raise GraphError(f"application {app.name!r} has no kernels")
+    app.check_connected()
+    if not app.application_inputs():
+        raise GraphError(
+            f"application {app.name!r} has no application inputs; real-time "
+            "constraints come from declared input rates"
+        )
+    if not app.application_outputs():
+        raise GraphError(
+            f"application {app.name!r} has no application outputs; results "
+            "would be silently discarded"
+        )
+    app.topological_order()  # raises on unbroken cycles
+    _check_dependency_edges(app)
+
+
+def _check_dependency_edges(app: ApplicationGraph) -> None:
+    for dep in app.dependencies:
+        if dep.src == dep.dst:
+            raise GraphError(f"self-dependency on kernel {dep.src!r}")
+
+
+def validate_physical(
+    app: ApplicationGraph, dataflow: DataflowResult | None = None
+) -> None:
+    """Check the unit-rate channel invariant of a compiled graph.
+
+    Every stream edge must deliver chunks whose extent equals the consuming
+    input's window; violations mean a buffer insertion was missed.
+    """
+    if dataflow is None:
+        dataflow = analyze_dataflow(app)
+    for edge in app.edges:
+        stream = dataflow.stream_on(edge)
+        window = app.kernel(edge.dst).input_spec(edge.dst_port).window
+        if stream.chunk != window:
+            raise RateError(
+                f"channel {edge} delivers {stream.chunk} chunks but the "
+                f"input window is {window}; a buffer kernel is required"
+            )

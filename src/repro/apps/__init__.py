@@ -1,0 +1,24 @@
+"""Benchmark applications (the Figure 13 suite)."""
+
+from .bayer_app import bayer_mosaic_pattern, build_bayer_app
+from .buffer_test import build_buffer_test_app
+from .filter_bank import build_filter_bank_app
+from .histogram_app import build_histogram_app
+from .image_pipeline import build_image_pipeline, sharpen_coefficients
+from .multi_conv import build_multi_conv_app
+from .suite import BENCHMARK_PROCESSOR, Benchmark, benchmark, benchmark_suite
+
+__all__ = [
+    "bayer_mosaic_pattern",
+    "build_bayer_app",
+    "build_buffer_test_app",
+    "build_filter_bank_app",
+    "build_histogram_app",
+    "build_image_pipeline",
+    "sharpen_coefficients",
+    "build_multi_conv_app",
+    "BENCHMARK_PROCESSOR",
+    "Benchmark",
+    "benchmark",
+    "benchmark_suite",
+]

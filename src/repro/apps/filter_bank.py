@@ -1,0 +1,82 @@
+"""A parametric filter-bank stress application.
+
+Figure 13's caption says greedy multiplexing was evaluated on programs
+"ranging in size from fewer than 10 kernels to more than 50"; this builder
+supplies the large end: ``branches`` parallel convolution+scale chains
+over one input, reduced pairwise by adders to a single stream.  With eight
+branches the logical graph has ~26 kernels and a compiled graph (buffers,
+insets, split/join) comfortably exceeds 50.
+
+All branch filters share one halo (3x3), so the pairwise adders align
+without inset kernels; a single 5x5 "reference" branch at the end of the
+reduction deliberately reintroduces the Figure 8 misalignment so big
+graphs exercise the align pass too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphError
+from ..graph.app import ApplicationGraph
+from ..kernels.arithmetic import AddKernel, SubtractKernel
+from ..kernels.filters import ConvolutionKernel
+from ..kernels.sources import ApplicationOutput
+
+__all__ = ["build_filter_bank_app"]
+
+
+def build_filter_bank_app(
+    width: int = 24,
+    height: int = 16,
+    rate_hz: float = 100.0,
+    *,
+    branches: int = 8,
+    name: str | None = None,
+) -> ApplicationGraph:
+    """Build a ``branches``-way filter bank with a pairwise reduction."""
+    if branches < 2 or branches & (branches - 1):
+        raise GraphError("branches must be a power of two >= 2")
+    app = ApplicationGraph(
+        name or f"filter_bank{branches}_{width}x{height}@{rate_hz:g}"
+    )
+    app.add_input("Input", width, height, rate_hz)
+
+    rng = np.random.default_rng(11)
+    level: list[tuple[str, str]] = []
+    for i in range(branches):
+        coeff = rng.uniform(-1.0, 1.0, (3, 3))
+        conv = ConvolutionKernel(
+            f"Conv_{i}", 3, 3, with_coeff_input=False, coeff=coeff
+        )
+        app.add_kernel(conv)
+        app.connect("Input", "out", conv.name, "in")
+        level.append((conv.name, "out"))
+
+    # Pairwise adder reduction tree.
+    depth = 0
+    while len(level) > 1:
+        next_level = []
+        for j in range(0, len(level), 2):
+            adder = AddKernel(f"Add_{depth}_{j // 2}")
+            app.add_kernel(adder)
+            app.connect(level[j][0], level[j][1], adder.name, "in0")
+            app.connect(level[j + 1][0], level[j + 1][1], adder.name, "in1")
+            next_level.append((adder.name, "out"))
+        level = next_level
+        depth += 1
+
+    # The misaligning reference branch (5x5 halo vs the bank's 3x3).
+    ref = ConvolutionKernel(
+        "Reference5x5", 5, 5, with_coeff_input=False,
+        coeff=np.full((5, 5), 1.0 / 25.0),
+    )
+    app.add_kernel(ref)
+    app.connect("Input", "out", ref.name, "in")
+    app.add_kernel(SubtractKernel("Residual"))
+    app.connect(level[0][0], level[0][1], "Residual", "in0")
+    app.connect(ref.name, "out", "Residual", "in1")
+
+    app.add_kernel(ApplicationOutput("Out", 1, 1))
+    app.connect("Residual", "out", "Out", "in")
+    return app

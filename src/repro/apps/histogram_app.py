@@ -1,0 +1,45 @@
+"""Image histogram application — benchmark 2/2F of Figure 13.
+
+The standalone histogram: a real-time image stream feeds data-parallel
+histogram counters whose partials reduce through the serial merge, limited
+to one instance per frame by a data-dependency edge (the Figure 1(b)
+pattern without the filtering front end).
+"""
+
+from __future__ import annotations
+
+from ..graph.app import ApplicationGraph
+from ..kernels.histogram import HistogramKernel, HistogramMergeKernel, default_bin_edges
+from ..kernels.sources import ApplicationOutput, ConstantSource
+
+__all__ = ["build_histogram_app"]
+
+
+def build_histogram_app(
+    width: int = 32,
+    height: int = 24,
+    rate_hz: float = 200.0,
+    *,
+    bins: int = 32,
+    lo: float = 0.0,
+    hi: float = 1024.0,
+    name: str | None = None,
+) -> ApplicationGraph:
+    """Build the image-histogram application."""
+    app = ApplicationGraph(name or f"histogram_{width}x{height}@{rate_hz:g}")
+    app.add_input("Input", width, height, rate_hz)
+    app.add_kernel(HistogramKernel("Histogram", bins, lo=lo, hi=hi))
+    app.add_kernel(
+        ConstantSource(
+            "HistBins", default_bin_edges(bins, lo, hi).reshape(1, bins), 1.0
+        )
+    )
+    app.add_kernel(HistogramMergeKernel("Merge", bins))
+    app.add_kernel(ApplicationOutput("result", bins, 1))
+
+    app.connect("Input", "out", "Histogram", "in")
+    app.connect("HistBins", "out", "Histogram", "bins")
+    app.connect("Histogram", "out", "Merge", "in")
+    app.connect("Merge", "out", "result", "in")
+    app.add_dependency("Input", "Merge")
+    return app

@@ -1,0 +1,96 @@
+"""The paper's running example application (Figures 1-4).
+
+A stream of 2-D frames passes through a 3x3 median filter and a 5x5
+convolution; the per-pixel difference of the two results feeds a histogram
+whose serial merge emits one combined histogram per frame.  The histogram
+is manually split into a data-parallel counting portion and a serial merge,
+with a data-dependency edge from the application input limiting the merge
+to one instance per frame (Figure 1(b)).
+
+The graph built here is the *logical* application: the median and
+convolution outputs are deliberately misaligned (98x98@(1,1) vs
+96x96@(2,2) for a 100x100 input, Figure 8) and no buffers are present.
+Alignment, buffering, and parallelization are the compiler's job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.app import ApplicationGraph
+from ..kernels.arithmetic import SubtractKernel
+from ..kernels.filters import ConvolutionKernel, MedianKernel
+from ..kernels.histogram import HistogramKernel, HistogramMergeKernel, default_bin_edges
+from ..kernels.sources import ConstantSource
+
+__all__ = ["build_image_pipeline", "sharpen_coefficients"]
+
+
+def sharpen_coefficients(width: int = 5, height: int = 5) -> np.ndarray:
+    """A normalized centre-weighted kernel for the 5x5 convolution."""
+    coeff = -np.ones((height, width), dtype=np.float64)
+    coeff[height // 2, width // 2] = 2.0 * height * width
+    return coeff / coeff.sum()
+
+
+def build_image_pipeline(
+    width: int = 24,
+    height: int = 16,
+    rate_hz: float = 100.0,
+    *,
+    bins: int = 32,
+    hist_lo: float = -64.0,
+    hist_hi: float = 64.0,
+    coeff_rate_hz: float = 1.0,
+    name: str | None = None,
+) -> ApplicationGraph:
+    """Build the Figure 1(b) application for a ``width x height`` input at
+    ``rate_hz`` frames per second.
+
+    The coefficient and bin-range sources ("5x5 Coeff" and "Hist Bins" of
+    Figure 2) run at ``coeff_rate_hz`` — slow reload channels feeding
+    *replicated* inputs.  Histogram bin ranges default to an even grid over
+    ``[hist_lo, hist_hi)`` sized for the subtract output's dynamic range.
+    """
+    app = ApplicationGraph(name or f"image_pipeline_{width}x{height}@{rate_hz:g}")
+    app.add_input("Input", width, height, rate_hz)
+
+    app.add_kernel(MedianKernel("Median3x3", 3, 3))
+    app.add_kernel(ConvolutionKernel("Conv5x5", 5, 5))
+    app.add_kernel(
+        ConstantSource("Coeff5x5", sharpen_coefficients(5, 5), coeff_rate_hz)
+    )
+    app.add_kernel(SubtractKernel("Subtract"))
+    app.add_kernel(
+        HistogramKernel("Histogram", bins, lo=hist_lo, hi=hist_hi)
+    )
+    app.add_kernel(
+        ConstantSource(
+            "HistBins",
+            default_bin_edges(bins, hist_lo, hist_hi).reshape(1, bins),
+            coeff_rate_hz,
+        )
+    )
+    app.add_kernel(HistogramMergeKernel("Merge", bins))
+    app.add_output("result")
+    result = app.kernel("result")
+    # The merge emits bins x 1 chunks; re-declare the sink's window.
+    if result.input_spec("in").window.w != bins:
+        app.remove_kernel("result")
+        from ..kernels.sources import ApplicationOutput
+
+        app.add_kernel(ApplicationOutput("result", bins, 1))
+
+    app.connect("Input", "out", "Median3x3", "in")
+    app.connect("Input", "out", "Conv5x5", "in")
+    app.connect("Coeff5x5", "out", "Conv5x5", "coeff")
+    app.connect("Conv5x5", "out", "Subtract", "in0")
+    app.connect("Median3x3", "out", "Subtract", "in1")
+    app.connect("Subtract", "out", "Histogram", "in")
+    app.connect("HistBins", "out", "Histogram", "bins")
+    app.connect("Histogram", "out", "Merge", "in")
+    app.connect("Merge", "out", "result", "in")
+
+    # Figure 1(b): the merge is serial — one instance per input frame.
+    app.add_dependency("Input", "Merge")
+    return app

@@ -1,0 +1,57 @@
+"""Multiple convolutions test — benchmark 4 of Figure 13.
+
+A filter bank: several convolutions of different sizes over one input,
+their results combined pairwise.  Exercises fan-out from one input,
+per-kernel buffering with different window heights, multi-way alignment
+(each filter has a different halo), and task parallelism across the
+branches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.app import ApplicationGraph
+from ..kernels.arithmetic import AddKernel, SubtractKernel
+from ..kernels.filters import ConvolutionKernel, GaussianKernel, SobelKernel
+
+__all__ = ["build_multi_conv_app"]
+
+
+def build_multi_conv_app(
+    width: int = 32,
+    height: int = 20,
+    rate_hz: float = 100.0,
+    *,
+    name: str | None = None,
+) -> ApplicationGraph:
+    """Build the multi-convolution filter bank.
+
+    Branches: 3x3 Gaussian, 3x3 Sobel, 5x5 mean.  The Gaussian and Sobel
+    outputs add (same halo, aligned); the 5x5 branch subtracts from that
+    sum, which needs an inset — a second instance of the Figure 8
+    situation in the same graph.
+    """
+    app = ApplicationGraph(name or f"multi_conv_{width}x{height}@{rate_hz:g}")
+    app.add_input("Input", width, height, rate_hz)
+    app.add_kernel(GaussianKernel("Gauss3x3", 3, 3, sigma=1.0))
+    app.add_kernel(SobelKernel("Sobel3x3"))
+    app.add_kernel(
+        ConvolutionKernel(
+            "Mean5x5", 5, 5, with_coeff_input=False,
+            coeff=np.full((5, 5), 1.0 / 25.0),
+        )
+    )
+    app.add_kernel(AddKernel("Combine"))
+    app.add_kernel(SubtractKernel("Detail"))
+    app.add_output("Out")
+
+    app.connect("Input", "out", "Gauss3x3", "in")
+    app.connect("Input", "out", "Sobel3x3", "in")
+    app.connect("Input", "out", "Mean5x5", "in")
+    app.connect("Gauss3x3", "out", "Combine", "in0")
+    app.connect("Sobel3x3", "out", "Combine", "in1")
+    app.connect("Combine", "out", "Detail", "in0")
+    app.connect("Mean5x5", "out", "Detail", "in1")
+    app.connect("Detail", "out", "Out", "in")
+    return app

@@ -1,0 +1,243 @@
+"""Command-line interface: inspect, compile, simulate, export.
+
+::
+
+    python -m repro list                      # the Figure 13 suite
+    python -m repro describe SS               # logical graph of a benchmark
+    python -m repro compile SS                # run the compiler, print report
+    python -m repro simulate SS --frames 4    # timing-accurate simulation
+    python -m repro dot SS --compiled         # Graphviz export
+    python -m repro suite                     # the Figure 13 table
+
+Benchmarks are addressed by their Figure 13 keys (1, 1F, 2, 2F, 3, 4, SS,
+SF, BS, BF, 5).
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+
+from .apps import BENCHMARK_PROCESSOR, benchmark, benchmark_suite
+from .graph.dot import to_dot
+from .machine import ProcessorSpec
+from .sim import SimulationOptions, simulate
+from .transform import CompileOptions, compile_application
+
+__all__ = ["main"]
+
+
+def _processor(args: argparse.Namespace) -> ProcessorSpec:
+    return ProcessorSpec(
+        clock_hz=args.clock_mhz * 1e6,
+        memory_words=args.memory_words,
+    )
+
+
+def _compile(key: str, args: argparse.Namespace):
+    bench = benchmark(key)
+    return bench, compile_application(
+        bench.application(),
+        _processor(args),
+        CompileOptions(mapping=args.mapping),
+    )
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    for bench in benchmark_suite():
+        print(f"{bench.key:>3}  {bench.title}")
+    return 0
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    bench = benchmark(args.key)
+    print(bench.application().describe())
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    from .analysis import compile_report
+
+    _, compiled = _compile(args.key, args)
+    print(compile_report(compiled))
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    bench, compiled = _compile(args.key, args)
+    result = simulate(compiled, SimulationOptions(frames=args.frames))
+    verdict = result.verdict(
+        bench.output, rate_hz=bench.rate_hz,
+        chunks_per_frame=bench.chunks_per_frame, frames=args.frames,
+    )
+    print(verdict.describe())
+    print()
+    print(result.utilization.describe())
+    return 0 if verdict.meets else 1
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    bench = benchmark(args.key)
+    if args.compiled or args.mapped:
+        compiled = compile_application(
+            bench.application(), _processor(args),
+            CompileOptions(mapping=args.mapping),
+        )
+        print(to_dot(compiled.graph,
+                     mapping=compiled.mapping if args.mapped else None))
+    else:
+        print(to_dot(bench.application()))
+    return 0
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    from .analysis import build_static_schedule
+
+    _, compiled = _compile(args.key, args)
+    schedule = build_static_schedule(compiled)
+    print(schedule.describe())
+    return 0 if schedule.admissible else 1
+
+
+def cmd_energy(args: argparse.Namespace) -> int:
+    from .machine import ManyCoreChip, anneal_placement, estimate_energy
+
+    bench, compiled = _compile(args.key, args)
+    result = simulate(compiled, SimulationOptions(frames=args.frames))
+    placement = None
+    if args.place:
+        chip = ManyCoreChip(cols=args.mesh, rows=args.mesh,
+                            processor=compiled.processor)
+        placement = anneal_placement(
+            compiled.mapping, compiled.dataflow, chip, seed=0
+        )
+        print(f"annealed placement: {placement.improvement:.2f}x better "
+              "than row-major")
+    report = estimate_energy(
+        result, compiled.mapping, compiled.dataflow,
+        processor=compiled.processor, placement=placement,
+    )
+    print(report.describe())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .sim import gantt
+
+    bench, compiled = _compile(args.key, args)
+    result = simulate(
+        compiled, SimulationOptions(frames=args.frames, trace=True)
+    )
+    print(gantt(result.trace, width=args.width))
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    print(f"{'bench':>6} | {'1:1 util':>9} | {'GM util':>9} | gain | meets")
+    gains = []
+    for bench in benchmark_suite():
+        utils = {}
+        meets = True
+        for mapping in ("1:1", "greedy"):
+            compiled = compile_application(
+                bench.application(), _processor(args),
+                CompileOptions(mapping=mapping),
+            )
+            result = simulate(compiled, SimulationOptions(frames=bench.frames))
+            verdict = result.verdict(
+                bench.output, rate_hz=bench.rate_hz,
+                chunks_per_frame=bench.chunks_per_frame, frames=bench.frames,
+            )
+            utils[mapping] = result.utilization.average_utilization
+            meets = meets and verdict.meets
+        gain = utils["greedy"] / utils["1:1"]
+        gains.append(gain)
+        print(f"{bench.key:>6} | {utils['1:1']:>9.1%} | "
+              f"{utils['greedy']:>9.1%} | {gain:.2f}x | "
+              f"{'yes' if meets else 'NO'}")
+    print(f"geometric-mean improvement: "
+          f"{statistics.geometric_mean(gains):.2f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Block-parallel compiler and simulator (ICPP 2010 repro)",
+    )
+    parser.add_argument("--clock-mhz", type=float, default=20.0,
+                        help="processing-element clock (MHz)")
+    parser.add_argument("--memory-words", type=int,
+                        default=BENCHMARK_PROCESSOR.memory_words,
+                        help="processing-element local store (words)")
+    parser.add_argument("--mapping", choices=("greedy", "1:1"),
+                        default="greedy")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the Figure 13 benchmarks")
+
+    p = sub.add_parser("describe", help="print a benchmark's logical graph")
+    p.add_argument("key")
+
+    p = sub.add_parser("compile", help="compile a benchmark and report")
+    p.add_argument("key")
+
+    p = sub.add_parser("simulate", help="compile and simulate a benchmark")
+    p.add_argument("key")
+    p.add_argument("--frames", type=int, default=4)
+
+    p = sub.add_parser("dot", help="export a benchmark graph as Graphviz dot")
+    p.add_argument("key")
+    p.add_argument("--compiled", action="store_true",
+                   help="export the compiled (transformed) graph")
+    p.add_argument("--mapped", action="store_true",
+                   help="cluster kernels by processing element (Figure 12)")
+
+    p = sub.add_parser("schedule",
+                       help="static SDF-style schedule and admission test")
+    p.add_argument("key")
+
+    p = sub.add_parser("energy", help="energy estimate for a benchmark")
+    p.add_argument("key")
+    p.add_argument("--frames", type=int, default=4)
+    p.add_argument("--place", action="store_true",
+                   help="anneal a placement first (network energy uses it)")
+    p.add_argument("--mesh", type=int, default=8, help="mesh side length")
+
+    p = sub.add_parser("trace",
+                       help="simulate and print a text Gantt chart")
+    p.add_argument("key")
+    p.add_argument("--frames", type=int, default=1)
+    p.add_argument("--width", type=int, default=100)
+
+    sub.add_parser("suite", help="run the Figure 13 table")
+    return parser
+
+
+_COMMANDS = {
+    "list": cmd_list,
+    "describe": cmd_describe,
+    "compile": cmd_compile,
+    "simulate": cmd_simulate,
+    "dot": cmd_dot,
+    "schedule": cmd_schedule,
+    "trace": cmd_trace,
+    "energy": cmd_energy,
+    "suite": cmd_suite,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyError as exc:  # unknown benchmark key
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # output piped into head/less and closed
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""Language core: ports, methods, kernels, edges, and application graphs."""
+
+from .app import ApplicationGraph
+from .edges import DependencyEdge, StreamEdge
+from .kernel import FiringContext, Kernel, TransferResult
+from .methods import MethodCost, MethodSpec, TokenTrigger
+from .ports import Direction, InputSpec, OutputSpec
+from .serialize import dumps, from_json, loads, to_json
+
+__all__ = [
+    "ApplicationGraph",
+    "DependencyEdge",
+    "StreamEdge",
+    "FiringContext",
+    "Kernel",
+    "TransferResult",
+    "MethodCost",
+    "MethodSpec",
+    "TokenTrigger",
+    "Direction",
+    "InputSpec",
+    "OutputSpec",
+    "dumps",
+    "from_json",
+    "loads",
+    "to_json",
+]

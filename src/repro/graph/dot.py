@@ -1,0 +1,112 @@
+"""Graphviz export of application graphs, in the paper's visual idiom.
+
+The figures of the paper draw computation kernels as boxes, buffers as
+parallelograms, split/join kernels as diamonds, inset kernels as inverted
+houses, replicated-input edges dashed, and data-dependency edges as thin
+annotations.  :func:`to_dot` reproduces that styling so a compiled graph
+rendered with ``dot -Tsvg`` looks like Figures 3/4/11.
+
+No graphviz dependency: the output is plain dot text.
+"""
+
+from __future__ import annotations
+
+from ..kernels.buffer import BufferKernel
+from ..kernels.inset import InsetKernel, PadKernel
+from ..kernels.sources import ApplicationInput, ApplicationOutput, ConstantSource
+from ..kernels.splitjoin import (
+    ColumnSplit,
+    CountedJoin,
+    ReplicateKernel,
+    RoundRobinJoin,
+    RoundRobinSplit,
+)
+from .app import ApplicationGraph
+
+__all__ = ["to_dot"]
+
+_SPLITJOIN = (RoundRobinSplit, RoundRobinJoin, ColumnSplit, CountedJoin,
+              ReplicateKernel)
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', r"\"") + '"'
+
+
+def _node_attrs(kernel) -> dict[str, str]:
+    if isinstance(kernel, ApplicationInput):
+        return {
+            "shape": "oval",
+            "label": f"{kernel.name}\\n{kernel.width}x{kernel.height}"
+                     f" @ {kernel.rate_hz:g}Hz",
+            "style": "bold",
+        }
+    if isinstance(kernel, ApplicationOutput):
+        return {"shape": "oval", "label": kernel.name, "style": "bold"}
+    if isinstance(kernel, ConstantSource):
+        return {"shape": "oval", "label": kernel.name}
+    if isinstance(kernel, BufferKernel):
+        return {
+            "shape": "parallelogram",
+            "label": f"{kernel.name}\\n{kernel.describe_parameterization()}",
+        }
+    if isinstance(kernel, _SPLITJOIN):
+        return {"shape": "diamond", "label": kernel.name,
+                "color": "steelblue"}
+    if isinstance(kernel, (InsetKernel, PadKernel)):
+        detail = (
+            f"trim {kernel.trim}" if isinstance(kernel, InsetKernel)
+            else f"pad {kernel.pad}"
+        )
+        return {"shape": "invhouse", "label": f"{kernel.name}\\n{detail}"}
+    return {"shape": "box", "label": kernel.name}
+
+
+def to_dot(app: ApplicationGraph, *, rankdir: str = "LR",
+           mapping=None) -> str:
+    """Render ``app`` as Graphviz dot text.
+
+    Passing a kernel-to-processor ``mapping`` (from
+    :mod:`repro.transform.multiplex`) draws each processing element as a
+    cluster box around its kernels — the Figure 12 view of which kernels
+    run time-multiplexed together.
+    """
+    lines = [
+        f"digraph {_quote(app.name)} {{",
+        f"  rankdir={rankdir};",
+        "  node [fontname=Helvetica fontsize=10];",
+        "  edge [fontname=Helvetica fontsize=8];",
+    ]
+
+    def node_line(name: str, kernel, indent: str = "  ") -> str:
+        attrs = _node_attrs(kernel)
+        rendered = " ".join(f"{k}={_quote(v)}" for k, v in attrs.items())
+        return f"{indent}{_quote(name)} [{rendered}];"
+
+    if mapping is not None:
+        unmapped = []
+        for proc, members in mapping.processors().items():
+            lines.append(f"  subgraph cluster_pe{proc} {{")
+            lines.append(f'    label="PE{proc}"; style=rounded; color=gray;')
+            for name in members:
+                lines.append(node_line(name, app.kernel(name), indent="    "))
+            lines.append("  }")
+        for name, kernel in app.kernels.items():
+            if mapping.processor_of(name) is None:
+                lines.append(node_line(name, kernel))
+    else:
+        for name, kernel in app.kernels.items():
+            lines.append(node_line(name, kernel))
+    for edge in app.edges:
+        spec = app.kernel(edge.dst).input_spec(edge.dst_port)
+        style = ' [style=dashed]' if spec.replicated else ""
+        lines.append(
+            f"  {_quote(edge.src)} -> {_quote(edge.dst)}{style};"
+        )
+    for dep in app.dependencies:
+        lines.append(
+            f"  {_quote(dep.src)} -> {_quote(dep.dst)} "
+            "[style=dotted color=gray constraint=false];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

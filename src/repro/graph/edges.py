@@ -1,0 +1,43 @@
+"""Graph edges: stream channels and data-dependency annotations.
+
+Stream edges are the FIFO data channels of any stream language; the
+block-parallel model adds *data-dependency edges* (Section IV-B) which carry
+no data but cap the parallelism of their sink at the parallelism of their
+source — the mechanism by which the histogram's serial merge is limited to
+one instance per input frame in Figure 1(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["StreamEdge", "DependencyEdge"]
+
+
+@dataclass(frozen=True, slots=True)
+class StreamEdge:
+    """A directed data channel from ``src.src_port`` to ``dst.dst_port``."""
+
+    src: str
+    src_port: str
+    dst: str
+    dst_port: str
+
+    def __str__(self) -> str:
+        return f"{self.src}.{self.src_port} -> {self.dst}.{self.dst_port}"
+
+
+@dataclass(frozen=True, slots=True)
+class DependencyEdge:
+    """A data-dependency edge limiting sink parallelism to source parallelism.
+
+    The edge is an annotation on the application graph — no data flows along
+    it.  Chains of dependency edges define pipelines whose internal stages
+    replicate together with the head of the pipeline (Section IV-B).
+    """
+
+    src: str
+    dst: str
+
+    def __str__(self) -> str:
+        return f"{self.src} ~~> {self.dst} (dependency)"

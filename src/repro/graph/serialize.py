@@ -1,0 +1,149 @@
+"""JSON serialization of application graphs.
+
+An application is topology plus parameterized library kernels, so it
+serializes naturally: each kernel records its class name and constructor
+arguments (captured automatically at construction), and the graph records
+channels, dependency edges, and per-input annotations.  Deserialization
+reconstructs kernels through :attr:`Kernel.registry`.
+
+Limits, stated loudly rather than discovered late:
+
+* kernels must be importable classes (anything defined at module scope of
+  an imported module registers itself); locally-defined classes load only
+  if redefined before :func:`from_json` runs;
+* constructor arguments must be JSON-encodable scalars, lists/tuples,
+  numpy arrays, or Fractions — callables (e.g. procedural input patterns)
+  raise immediately at :func:`to_json` time;
+* runtime state (histogram counts, buffer fill) is *not* captured: a
+  loaded graph is factory-fresh, exactly like a recompiled one.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any
+
+import numpy as np
+
+from ..errors import GraphError
+from .app import ApplicationGraph
+from .kernel import Kernel
+
+__all__ = ["to_json", "from_json", "dumps", "loads"]
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, np.ndarray):
+        return {
+            "__ndarray__": value.tolist(),
+            "dtype": str(value.dtype),
+        }
+    if isinstance(value, Fraction):
+        return {"__fraction__": [value.numerator, value.denominator]}
+    if isinstance(value, (list, tuple)):
+        return {"__seq__": [_encode_value(v) for v in value],
+                "tuple": isinstance(value, tuple)}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    raise GraphError(
+        f"cannot serialize constructor argument of type {type(value).__name__}"
+        " (callables and custom objects are not JSON-encodable)"
+    )
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "__ndarray__" in value:
+            return np.asarray(value["__ndarray__"], dtype=value["dtype"])
+        if "__fraction__" in value:
+            n, d = value["__fraction__"]
+            return Fraction(n, d)
+        if "__seq__" in value:
+            seq = [_decode_value(v) for v in value["__seq__"]]
+            return tuple(seq) if value.get("tuple") else seq
+    return value
+
+
+def to_json(app: ApplicationGraph) -> dict[str, Any]:
+    """Serialize ``app`` to a JSON-compatible dictionary."""
+    kernels = []
+    for name, kernel in app.kernels.items():
+        args, kwargs = kernel._ctor_args
+        kernels.append(
+            {
+                "type": type(kernel).__name__,
+                "name": name,
+                "args": [_encode_value(a) for a in args],
+                "kwargs": {k: _encode_value(v) for k, v in kwargs.items()},
+                "token_transparent": [
+                    port for port, spec in kernel.inputs.items()
+                    if spec.token_transparent
+                ],
+                "extra": {
+                    k: _encode_value(v)
+                    for k, v in kernel.serialize_extra().items()
+                },
+            }
+        )
+    return {
+        "format": "repro-application",
+        "version": 1,
+        "name": app.name,
+        "kernels": kernels,
+        "channels": [
+            [e.src, e.src_port, e.dst, e.dst_port] for e in app.edges
+        ],
+        "dependencies": [[d.src, d.dst] for d in app.dependencies],
+    }
+
+
+def from_json(data: dict[str, Any]) -> ApplicationGraph:
+    """Reconstruct an application graph from :func:`to_json` output."""
+    if data.get("format") != "repro-application":
+        raise GraphError("not a serialized repro application")
+    if data.get("version") != 1:
+        raise GraphError(f"unsupported format version {data.get('version')}")
+    app = ApplicationGraph(data["name"])
+    for entry in data["kernels"]:
+        cls = Kernel.registry.get(entry["type"])
+        if cls is None:
+            raise GraphError(
+                f"unknown kernel class {entry['type']!r}; import the module "
+                "defining it before loading"
+            )
+        args = [_decode_value(a) for a in entry["args"]]
+        kwargs = {k: _decode_value(v) for k, v in entry["kwargs"].items()}
+        kernel = cls(*args, **kwargs)
+        if kernel.name != entry["name"]:
+            # Names live in the first positional arg by convention; repair
+            # defensively in case a kwargs-only constructor renamed it.
+            kernel._name = entry["name"]
+        for port in entry.get("token_transparent", ()):
+            kernel.mark_token_transparent(port)
+        extra = {
+            k: _decode_value(v) for k, v in entry.get("extra", {}).items()
+        }
+        if extra:
+            kernel.apply_serialized_extra(extra)
+        app.add_kernel(kernel)
+    for src, src_port, dst, dst_port in data["channels"]:
+        app.connect(src, src_port, dst, dst_port)
+    for src, dst in data["dependencies"]:
+        app.add_dependency(src, dst)
+    return app
+
+
+def dumps(app: ApplicationGraph, **json_kwargs: Any) -> str:
+    """Serialize to a JSON string."""
+    json_kwargs.setdefault("indent", 2)
+    return json.dumps(to_json(app), **json_kwargs)
+
+
+def loads(text: str) -> ApplicationGraph:
+    """Load an application graph from a JSON string."""
+    return from_json(json.loads(text))

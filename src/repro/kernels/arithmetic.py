@@ -1,0 +1,132 @@
+"""Elementwise kernels: subtract, add, absolute difference, scale, threshold.
+
+The subtract kernel of Figure 1 is the canonical multi-input elementwise
+kernel: both inputs are ``(1x1)[1,1]`` with offset ``[0,0]`` and one method
+triggers on data arriving on *both*.  Control tokens reaching both inputs
+are forwarded once to the output (Section II-C's two-input rule).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.kernel import Kernel
+from ..graph.methods import MethodCost
+
+__all__ = [
+    "BinaryElementwiseKernel",
+    "SubtractKernel",
+    "AddKernel",
+    "AbsDiffKernel",
+    "MultiplyKernel",
+    "UnaryElementwiseKernel",
+    "ScaleKernel",
+    "ThresholdKernel",
+    "IdentityKernel",
+]
+
+
+class BinaryElementwiseKernel(Kernel):
+    """Base for two-input, one-output per-element kernels."""
+
+    #: Per-iteration compute cost; cheap ALU work.
+    cycles: int = 5
+
+    def configure(self) -> None:
+        self.add_input("in0", 1, 1, 1, 1, 0, 0)
+        self.add_input("in1", 1, 1, 1, 1, 0, 0)
+        self.add_output("out", 1, 1)
+        self.add_method(
+            "run",
+            inputs=["in0", "in1"],
+            outputs=["out"],
+            cost=MethodCost(cycles=self.cycles),
+        )
+
+    def compute(self, a: float, b: float) -> float:
+        raise NotImplementedError
+
+    def run(self) -> None:
+        a = float(self.read_input("in0")[0, 0])
+        b = float(self.read_input("in1")[0, 0])
+        self.write_output("out", np.array([[self.compute(a, b)]]))
+
+
+class SubtractKernel(BinaryElementwiseKernel):
+    """Per-pixel difference ``in0 - in1`` (Figure 1's Subtract)."""
+
+    def compute(self, a: float, b: float) -> float:
+        return a - b
+
+
+class AddKernel(BinaryElementwiseKernel):
+    """Per-pixel sum ``in0 + in1``."""
+
+    def compute(self, a: float, b: float) -> float:
+        return a + b
+
+
+class AbsDiffKernel(BinaryElementwiseKernel):
+    """Per-pixel absolute difference ``|in0 - in1|``."""
+
+    def compute(self, a: float, b: float) -> float:
+        return abs(a - b)
+
+
+class MultiplyKernel(BinaryElementwiseKernel):
+    """Per-pixel product ``in0 * in1``."""
+
+    def compute(self, a: float, b: float) -> float:
+        return a * b
+
+
+class UnaryElementwiseKernel(Kernel):
+    """Base for one-input, one-output per-element kernels."""
+
+    cycles: int = 4
+
+    def configure(self) -> None:
+        self.add_input("in", 1, 1, 1, 1, 0, 0)
+        self.add_output("out", 1, 1)
+        self.add_method(
+            "run", inputs=["in"], outputs=["out"], cost=MethodCost(cycles=self.cycles)
+        )
+
+    def compute(self, value: float) -> float:
+        raise NotImplementedError
+
+    def run(self) -> None:
+        value = float(self.read_input("in")[0, 0])
+        self.write_output("out", np.array([[self.compute(value)]]))
+
+
+class ScaleKernel(UnaryElementwiseKernel):
+    """Affine per-pixel transform ``gain * x + bias``."""
+
+    def __init__(self, name: str, gain: float = 1.0, bias: float = 0.0) -> None:
+        self.gain = gain
+        self.bias = bias
+        super().__init__(name)
+
+    def compute(self, value: float) -> float:
+        return self.gain * value + self.bias
+
+
+class ThresholdKernel(UnaryElementwiseKernel):
+    """Binary threshold: 1.0 where ``x >= level`` else 0.0."""
+
+    def __init__(self, name: str, level: float) -> None:
+        self.level = level
+        super().__init__(name)
+
+    def compute(self, value: float) -> float:
+        return 1.0 if value >= self.level else 0.0
+
+
+class IdentityKernel(UnaryElementwiseKernel):
+    """Pass-through; useful as a pipeline stage anchor for dependency edges."""
+
+    cycles = 1
+
+    def compute(self, value: float) -> float:
+        return value

@@ -1,0 +1,221 @@
+"""The two-dimensional circular buffer kernel (Section III-B).
+
+The only channel buffering implicit in the application model is the single
+iteration of double-buffering in each port; everything else is explicit
+Buffer kernels inserted by the compiler.  A buffer kernel accumulates
+scan-line-ordered chunks into a circular row store and emits consumer-sized
+windows as they complete.  It is a *regular* kernel — it has a method,
+declared costs, and state — so the mapping and simulation passes treat it
+like any other computation.
+
+Buffers are sized to double-buffer the larger of their input or output: a
+``(1x1)[1,1] -> (5x5)[1,1]`` buffer over a 20-wide region stores
+``20 x 10`` elements (two window-heights of rows), which is exactly the
+``Buffer [20x10]`` annotation of Figure 4.
+
+Buffers are **not** data parallel: round-robin distribution would reorder
+data (Section IV-C).  When a buffer must split — usually because its row
+storage exceeds one processing element's memory — it splits column-wise
+with the window overlap replicated to both halves (Figure 10); see
+:mod:`repro.transform.parallelize`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import AnalysisError, FiringError, PortError
+from ..geometry import Size2D, Step2D, iteration_grid
+from ..graph.kernel import Kernel, TransferResult
+from ..graph.methods import MethodCost
+from ..streams import StreamInfo
+from ..tokens import EndOfFrame
+
+__all__ = ["BufferKernel"]
+
+
+class BufferKernel(Kernel):
+    """Re-chunk a stream of ``in_chunk`` tiles into overlapping windows.
+
+    Parameters
+    ----------
+    region_w, region_h:
+        The per-frame extent of the incoming stream (known statically from
+        the dataflow analysis at insertion time).
+    window_w, window_h, step_x, step_y:
+        The consumer's window parameterization.
+    in_chunk_w, in_chunk_h:
+        Incoming chunk extent.  Application inputs produce ``1x1``; chunk
+        heights above one are only supported for full-width tiles because
+        window completion is tracked as a scan-order watermark.
+    """
+
+    data_parallel = False
+    compiler_inserted = True
+
+    #: Cycles charged per stored input chunk (pointer arithmetic + wrap).
+    STORE_CYCLES = 4
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        region_w: int,
+        region_h: int,
+        window_w: int,
+        window_h: int,
+        step_x: int = 1,
+        step_y: int = 1,
+        in_chunk_w: int = 1,
+        in_chunk_h: int = 1,
+    ) -> None:
+        if window_w > region_w or window_h > region_h:
+            raise PortError(
+                f"buffer {name!r}: window {window_w}x{window_h} exceeds "
+                f"region {region_w}x{region_h}"
+            )
+        if in_chunk_h > 1 and in_chunk_w != region_w:
+            raise PortError(
+                f"buffer {name!r}: multi-row chunks must span the full region"
+            )
+        if region_w % in_chunk_w or region_h % in_chunk_h:
+            raise PortError(
+                f"buffer {name!r}: chunks {in_chunk_w}x{in_chunk_h} do not "
+                f"tile region {region_w}x{region_h}"
+            )
+        self.region_w = region_w
+        self.region_h = region_h
+        self.window_w = window_w
+        self.window_h = window_h
+        self.step_x = step_x
+        self.step_y = step_y
+        self.in_chunk_w = in_chunk_w
+        self.in_chunk_h = in_chunk_h
+        #: One stored chunk can complete several windows when chunks span
+        #: multiple step positions; bound emissions for backpressure gating.
+        self.max_emissions_per_firing = max(2, -(-in_chunk_w // step_x) + 1)
+        #: Circular row store: two window-heights of rows (double buffering).
+        self.storage_rows = 2 * window_h
+        self._store = np.zeros((self.storage_rows, region_w), dtype=np.float64)
+        self._x = 0
+        self._y = 0
+        super().__init__(name)
+
+    # ------------------------------------------------------------------
+    def configure(self) -> None:
+        self.add_input(
+            "in", self.in_chunk_w, self.in_chunk_h, self.in_chunk_w, self.in_chunk_h
+        )
+        self.add_output("out", self.window_w, self.window_h)
+        self.add_method(
+            "store",
+            inputs=["in"],
+            outputs=["out"],
+            cost=MethodCost(cycles=self.STORE_CYCLES),
+        )
+        self.add_method(
+            "end_frame",
+            on_token=("in", EndOfFrame),
+            outputs=["out"],
+            cost=MethodCost(cycles=2),
+            forward_token=True,
+        )
+
+    @property
+    def storage_words(self) -> int:
+        """Words of row storage — the ``[W x 2h]`` box label of Figure 4."""
+        return self.storage_rows * self.region_w
+
+    def extra_state_words(self) -> int:
+        return self.storage_words
+
+    def describe_parameterization(self) -> str:
+        """Paper-style label, e.g. ``(1x1)[1,1]-->(5x5)[1,1] [20x10]``."""
+        return (
+            f"({self.in_chunk_w}x{self.in_chunk_h})"
+            f"[{self.in_chunk_w},{self.in_chunk_h}]-->"
+            f"({self.window_w}x{self.window_h})[{self.step_x},{self.step_y}] "
+            f"[{self.region_w}x{self.storage_rows}]"
+        )
+
+    # ------------------------------------------------------------------
+    # Runtime behaviour
+    # ------------------------------------------------------------------
+    def store(self) -> None:
+        chunk = self.read_input("in")
+        ch, cw = chunk.shape
+        if self._y + ch > self.region_h or self._x + cw > self.region_w:
+            raise FiringError(
+                f"{self.name}: received more data than the declared "
+                f"{self.region_w}x{self.region_h} region"
+            )
+        for dy in range(ch):
+            row = (self._y + dy) % self.storage_rows
+            self._store[row, self._x : self._x + cw] = chunk[dy]
+        # Emit every window whose bottom-right element just arrived.  Chunks
+        # arrive in scan order, so completion is a per-row watermark.
+        for dy in range(ch):
+            y = self._y + dy
+            self._emit_completed(y, self._x, self._x + cw - 1)
+        self._x += cw
+        if self._x >= self.region_w:
+            self._x = 0
+            self._y += ch
+
+    def _emit_completed(self, y: int, x_first: int, x_last: int) -> None:
+        h, w = self.window_h, self.window_w
+        if y < h - 1 or (y - (h - 1)) % self.step_y != 0:
+            return
+        py = y - (h - 1)
+        # Window columns px on the step lattice whose right edge lies in
+        # the newly stored span.
+        first = max(0, x_first - (w - 1))
+        last = min(x_last - (w - 1), self.region_w - w)
+        if last < first:
+            return
+        start = first + (-first) % self.step_x
+        for px in range(start, last + 1, self.step_x):
+            rows = [(py + dy) % self.storage_rows for dy in range(h)]
+            window = self._store[rows, px : px + w]
+            self.write_output("out", window.copy())
+
+    def end_frame(self) -> None:
+        """End-of-frame: rewind the fill position for the next frame."""
+        self._x = 0
+        self._y = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._store = np.zeros((self.storage_rows, self.region_w), dtype=np.float64)
+        self._x = 0
+        self._y = 0
+
+    # ------------------------------------------------------------------
+    # Static analysis
+    # ------------------------------------------------------------------
+    def transfer(self, inputs: Mapping[str, StreamInfo]) -> TransferResult:
+        s = inputs["in"]
+        if (s.extent.w, s.extent.h) != (self.region_w, self.region_h):
+            raise AnalysisError(
+                f"{self.name}: buffer sized for {self.region_w}x"
+                f"{self.region_h} but stream region is {s.extent}"
+            )
+        window = Size2D(self.window_w, self.window_h)
+        grid = iteration_grid(s.extent, window, Step2D(self.step_x, self.step_y))
+        out = StreamInfo(
+            region=s.region,
+            chunk=window,
+            rate_hz=s.rate_hz,
+            chunks_per_frame=grid.elements,
+            token_rates=dict(s.token_rates),
+            windows_precut=True,
+        )
+        return TransferResult(
+            outputs={"out": out},
+            firings_per_second={
+                "store": s.chunks_per_frame * s.rate_hz,
+                "end_frame": s.rate_hz,
+            },
+        )

@@ -1,0 +1,19 @@
+"""Target machine model: processing elements, chip grid, placement."""
+
+from .chip import ManyCoreChip, Tile
+from .energy import EnergyReport, EnergySpec, estimate_energy
+from .placement import Placement, anneal_placement, traffic_matrix
+from .processor import DEFAULT_PROCESSOR, ProcessorSpec
+
+__all__ = [
+    "ManyCoreChip",
+    "EnergyReport",
+    "EnergySpec",
+    "estimate_energy",
+    "Tile",
+    "Placement",
+    "anneal_placement",
+    "traffic_matrix",
+    "DEFAULT_PROCESSOR",
+    "ProcessorSpec",
+]

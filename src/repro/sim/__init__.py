@@ -1,0 +1,32 @@
+"""Timing-accurate functional simulator and untimed golden executor."""
+
+from .functional import FunctionalResult, run_functional
+from .runtime import Channel, RuntimeKernel, build_runtime
+from .simulator import (
+    BudgetOverrun,
+    SimulationOptions,
+    SimulationResult,
+    Simulator,
+    simulate,
+)
+from .stats import ProcessorStats, RealTimeVerdict, UtilizationSummary
+from .trace import TraceEvent, busy_time_by_processor, gantt
+
+__all__ = [
+    "FunctionalResult",
+    "run_functional",
+    "Channel",
+    "RuntimeKernel",
+    "build_runtime",
+    "BudgetOverrun",
+    "SimulationOptions",
+    "SimulationResult",
+    "Simulator",
+    "simulate",
+    "ProcessorStats",
+    "RealTimeVerdict",
+    "UtilizationSummary",
+    "TraceEvent",
+    "busy_time_by_processor",
+    "gantt",
+]

@@ -1,0 +1,149 @@
+"""Untimed functional execution — the golden-model half of the simulator.
+
+Runs a compiled application to quiescence with no notion of time: sources
+inject all their traffic up front and kernels fire until no one can.  The
+outputs must be identical to the timed simulation (scheduling changes
+*when* firings happen, never *what* they compute), which the test suite
+checks; it is also how functional correctness is asserted against numpy
+references (median, convolution, histogram).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..graph.app import ApplicationGraph
+from ..kernels.sources import ApplicationInput, ApplicationOutput, ConstantSource
+from ..tokens import EndOfFrame, EndOfLine
+from .runtime import Channel, RuntimeKernel, build_runtime
+
+__all__ = ["FunctionalResult", "run_functional", "source_items"]
+
+#: Hard stop for runaway kernels (a kernel emitting to itself, say).
+_MAX_FIRINGS_FACTOR = 1000
+
+
+def source_items(source: ApplicationInput, frames: int):
+    """Yield the items an application input produces for ``frames`` frames.
+
+    One element at a time in scan-line order, with end-of-line after each
+    row and end-of-frame after the last row (Section II-C).
+    """
+    for f in range(frames):
+        frame = source.frame(f)
+        for y in range(source.height):
+            for x in range(source.width):
+                yield np.array([[frame[y, x]]])
+            yield EndOfLine(frame=f, line=y)
+        yield EndOfFrame(frame=f)
+
+
+@dataclass(slots=True)
+class FunctionalResult:
+    """Outcome of a functional run."""
+
+    app: ApplicationGraph
+    frames: int
+    #: Application output name -> everything it received, in order.
+    outputs: Mapping[str, list[np.ndarray]]
+    #: Kernel name -> firings executed.
+    firings: Mapping[str, int]
+    channels: list[Channel] = field(default_factory=list)
+    #: Channels left non-empty at quiescence (excluding sinks) — normal for
+    #: windowed pipelines mid-frame, useful when debugging deadlocks.
+    unconsumed: list[str] = field(default_factory=list)
+
+    def output(self, name: str) -> list[np.ndarray]:
+        try:
+            return list(self.outputs[name])
+        except KeyError:
+            raise SimulationError(f"no application output named {name!r}") from None
+
+    def output_frame(self, name: str, frame: int, width: int, height: int) -> np.ndarray:
+        """Reassemble scan-line 1x1 chunks of one frame into an array."""
+        chunks = self.output(name)
+        per_frame = width * height
+        start = frame * per_frame
+        flat = [float(c[0, 0]) for c in chunks[start : start + per_frame]]
+        if len(flat) != per_frame:
+            raise SimulationError(
+                f"output {name!r} holds {len(chunks) - start} chunks of "
+                f"frame {frame}; expected {per_frame}"
+            )
+        return np.array(flat).reshape(height, width)
+
+
+def _apply_emissions(rk: RuntimeKernel, emissions) -> None:
+    for port, item in emissions:
+        for channel in rk.outputs.get(port, ()):
+            channel.push(item)
+
+
+def run_functional(app: ApplicationGraph, frames: int = 1) -> FunctionalResult:
+    """Execute ``app`` on ``frames`` input frames until quiescent."""
+    if frames < 1:
+        raise SimulationError("frames must be >= 1")
+    runtimes, channels = build_runtime(app)
+
+    # Startup: init methods fire first (histogram bin clears, feedback
+    # primers), then constant sources (coefficients must precede data),
+    # then the real-time inputs.
+    for rk in runtimes.values():
+        for result in rk.run_init():
+            _apply_emissions(rk, result.emissions)
+    for rk in runtimes.values():
+        if isinstance(rk.kernel, ConstantSource):
+            _apply_emissions(rk, [("out", rk.kernel.values.copy())])
+    for rk in runtimes.values():
+        if isinstance(rk.kernel, ApplicationInput):
+            for item in source_items(rk.kernel, frames):
+                _apply_emissions(rk, [("out", item)])
+
+    order = app.topological_order()
+    budget = _MAX_FIRINGS_FACTOR * frames * sum(
+        max(len(ch.items), 1) for ch in channels
+    ) + 10_000
+    executed = 1
+    total = 0
+    while executed:
+        executed = 0
+        for name in order:
+            rk = runtimes[name]
+            while True:
+                firing = rk.ready_firing()
+                if firing is None:
+                    break
+                result = rk.execute(firing)
+                _apply_emissions(rk, result.emissions)
+                executed += 1
+                total += 1
+                if total > budget:
+                    raise SimulationError(
+                        f"functional run exceeded {budget} firings; likely "
+                        "a livelock in a structural kernel FSM"
+                    )
+
+    leftovers = [
+        f"{ch.src}.{ch.src_port}->{ch.dst}.{ch.dst_port} ({len(ch.items)})"
+        for ch in channels
+        if ch.items and not isinstance(
+            runtimes[ch.dst].kernel, (ApplicationOutput,)
+        )
+    ]
+    outputs = {
+        name: list(rk.kernel.received)
+        for name, rk in runtimes.items()
+        if isinstance(rk.kernel, ApplicationOutput)
+    }
+    return FunctionalResult(
+        app=app,
+        frames=frames,
+        outputs=outputs,
+        firings={name: rk.firings for name, rk in runtimes.items()},
+        channels=channels,
+        unconsumed=leftovers,
+    )

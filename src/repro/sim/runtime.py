@@ -1,0 +1,398 @@
+"""Runtime kernel semantics shared by the timed and functional executors.
+
+After compilation every channel is unit-rate: one producer chunk per
+consumer firing.  The runtime implements the firing rules of Sections II-B
+and II-C:
+
+* a *data method* fires when every one of its trigger inputs has a data
+  chunk at the head of its channel (selector methods — round-robin joins —
+  fire on the single input their FSM currently expects);
+* a *token method* fires when its registered token class reaches the head
+  of its input channel;
+* unhandled tokens auto-forward: once the same token sits at the head of
+  every input of a data method, one copy is forwarded to that method's
+  outputs (the subtract kernel's two-input rule generalizes the one-input
+  case) and the kernel's ``on_token_forwarded`` hook runs.
+
+Channel items stay strictly ordered; control tokens travel in order with
+the data, which is what makes end-of-frame processing deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Union
+
+import numpy as np
+
+from ..errors import FiringError
+from ..graph.app import ApplicationGraph
+from ..graph.kernel import FiringContext, Kernel
+from ..graph.methods import MethodSpec
+from ..tokens import ControlToken
+
+__all__ = [
+    "Item",
+    "Channel",
+    "Firing",
+    "FiringResult",
+    "RuntimeKernel",
+    "build_runtime",
+]
+
+#: A channel item: a data chunk or a control token.
+Item = Union[np.ndarray, ControlToken]
+
+
+class SeqCounter:
+    """A shared monotonic counter stamping channel items in arrival order."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def next(self) -> int:
+        self.value += 1
+        return self.value
+
+
+@dataclass(slots=True)
+class Channel:
+    """A FIFO stream channel bound to one consumer input.
+
+    Items are stamped with a globally increasing sequence number at push
+    time; a kernel with several ready methods fires the one whose trigger
+    arrived first, which keeps execution deterministic and means control
+    reload channels (coefficients, bin ranges) win ties against data
+    injected after them.
+    """
+
+    src: str
+    src_port: str
+    dst: str
+    dst_port: str
+    seq: SeqCounter = field(default_factory=SeqCounter)
+    items: deque = field(default_factory=deque)
+    seqs: deque = field(default_factory=deque)
+    #: Maximum items the channel may hold, or None for unbounded.  Bounded
+    #: channels model the implicit single-iteration port buffers (Figure 5
+    #: caption) and make producers stall — the Figure 9(b) effect.
+    capacity: int | None = None
+    #: High-water mark, for buffer-sizing diagnostics.
+    max_occupancy: int = 0
+    total_data: int = 0
+    total_tokens: int = 0
+
+    def space_for(self, count: int) -> bool:
+        return self.capacity is None or len(self.items) + count <= self.capacity
+
+    def push(self, item: Item) -> None:
+        self.items.append(item)
+        self.seqs.append(self.seq.next())
+        if isinstance(item, ControlToken):
+            self.total_tokens += 1
+        else:
+            self.total_data += 1
+        if len(self.items) > self.max_occupancy:
+            self.max_occupancy = len(self.items)
+
+    def head(self) -> Item | None:
+        return self.items[0] if self.items else None
+
+    def head_seq(self) -> int:
+        return self.seqs[0]
+
+    def pop(self) -> Item:
+        self.seqs.popleft()
+        return self.items.popleft()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+@dataclass(frozen=True, slots=True)
+class Firing:
+    """A ready-to-run unit of work on a kernel.
+
+    ``forward`` firings are automatic token forwards (no method body);
+    ``init`` firings run once at startup.
+    """
+
+    kind: str  # "method" | "token" | "forward" | "init"
+    method: MethodSpec | None
+    consume_ports: tuple[str, ...]
+    token: ControlToken | None = None
+
+
+@dataclass(slots=True)
+class FiringResult:
+    """What a firing did: cost inputs for the machine model plus emissions."""
+
+    kernel: str
+    label: str
+    cycles: float
+    elements_read: int
+    elements_written: int
+    emissions: list[tuple[str, Item]]
+    #: The statically declared cycle bound; differs from ``cycles`` only
+    #: for variable-work firings that called ``charge_cycles``.
+    declared_cycles: float = 0.0
+    #: True when the body charged a data-dependent cost.
+    dynamic: bool = False
+
+
+#: Cycles charged for auto-forwarding one token (pure plumbing).
+FORWARD_CYCLES = 1
+
+
+class RuntimeKernel:
+    """A kernel instance wired to its runtime channels."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.inputs: dict[str, Channel] = {}
+        self.outputs: dict[str, list[Channel]] = {
+            port: [] for port in kernel.outputs
+        }
+        self.firings = 0
+        # Hot-path caches: port order, per-port data methods, and
+        # token-transparency flags are static for the kernel's lifetime.
+        self._ports: tuple[str, ...] = tuple(kernel.inputs)
+        self._data_method = {
+            port: kernel.data_method_for_input(port) for port in self._ports
+        }
+        self._transparent = {
+            port for port, spec in kernel.inputs.items()
+            if spec.token_transparent
+        }
+
+    @property
+    def name(self) -> str:
+        return self.kernel.name
+
+    # ------------------------------------------------------------------
+    def run_init(self) -> list[FiringResult]:
+        """Execute all init methods (e.g. the histogram clearing its bins)."""
+        results = []
+        for name, cost in self.kernel.init_methods.items():
+            synthetic = MethodSpec(
+                name=name,
+                outputs=tuple(self.kernel.outputs),
+                cost=cost,
+                is_source=True,
+            )
+            ctx = FiringContext(method=synthetic)
+            self.kernel.bind_context(ctx)
+            getattr(self.kernel, name)()
+            ctx = self.kernel.release_context()
+            emissions: list[tuple[str, Item]] = list(ctx.writes)
+            emissions.extend(ctx.token_writes)
+            results.append(
+                FiringResult(
+                    kernel=self.name,
+                    label=f"init:{name}",
+                    cycles=cost.cycles,
+                    elements_read=0,
+                    elements_written=ctx.elements_written,
+                    emissions=emissions,
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    def ready_firing(self) -> Firing | None:
+        """The next firing this kernel can perform, or None.
+
+        All complete triggers are collected and the one whose head item
+        arrived earliest fires, so cross-input ordering follows arrival
+        order (a coefficient load injected before the first data element
+        runs before the first convolution).
+        """
+        best: Firing | None = None
+        best_seq = -1
+        for port in self._ports:
+            channel = self.inputs.get(port)
+            if channel is None or not channel.items:
+                continue
+            head = channel.head()
+            if isinstance(head, ControlToken):
+                firing = self._token_firing(port, head)
+            else:
+                firing = self._data_firing(port)
+            if firing is None:
+                continue
+            seq = min(
+                self.inputs[p].head_seq()
+                for p in firing.consume_ports
+                if p in self.inputs and self.inputs[p].items
+            )
+            if best is None or seq < best_seq:
+                best, best_seq = firing, seq
+        return best
+
+    def _token_firing(self, port: str, token: ControlToken) -> Firing | None:
+        if port in self._transparent:
+            # Feedback-loop input: drop the token (Section III-D).
+            return Firing(kind="forward", method=None, consume_ports=(port,),
+                          token=token)
+        handler = self.kernel.token_method_for(port, type(token))
+        if handler is not None:
+            return Firing(
+                kind="token", method=handler, consume_ports=(port,), token=token
+            )
+        method = self._data_method[port]
+        if method is None:
+            # Tokens on control-only inputs (e.g. "coeff") are dropped.
+            return Firing(kind="forward", method=None, consume_ports=(port,),
+                          token=token)
+        # Forward once the same token heads every (token-opaque) input of
+        # the method; transparent feedback inputs never carry tokens.
+        for other in method.data_inputs:
+            if other in self._transparent:
+                continue
+            head = self.inputs[other].head() if other in self.inputs else None
+            if not (
+                isinstance(head, ControlToken)
+                and type(head) is type(token)
+                and head.frame == token.frame
+            ):
+                return None
+        opaque = tuple(
+            p for p in method.data_inputs if p not in self._transparent
+        )
+        return Firing(
+            kind="forward",
+            method=method,
+            consume_ports=opaque,
+            token=token,
+        )
+
+    def _data_firing(self, port: str) -> Firing | None:
+        method = self._data_method[port]
+        if method is None:
+            raise FiringError(
+                f"{self.name}: data arrived on {port!r} which triggers no "
+                "data method"
+            )
+        if method.selector is not None:
+            selected = getattr(self.kernel, method.selector)()
+            if selected != port:
+                return None
+            return Firing(kind="method", method=method, consume_ports=(port,))
+        for other in method.data_inputs:
+            head = self.inputs[other].head() if other in self.inputs else None
+            if head is None or isinstance(head, ControlToken):
+                return None
+        return Firing(kind="method", method=method,
+                      consume_ports=method.data_inputs)
+
+    # ------------------------------------------------------------------
+    def execute(self, firing: Firing) -> FiringResult:
+        """Consume the firing's inputs, run the body, collect emissions."""
+        self.firings += 1
+        if firing.kind == "forward":
+            return self._execute_forward(firing)
+
+        method = firing.method
+        assert method is not None
+        consumed: dict[str, np.ndarray] = {}
+        token: ControlToken | None = None
+        for port in firing.consume_ports:
+            item = self.inputs[port].pop()
+            if isinstance(item, ControlToken):
+                token = item
+            else:
+                consumed[port] = item
+        ctx = FiringContext(method=method, inputs=consumed, token=token)
+        self.kernel.bind_context(ctx)
+        try:
+            getattr(self.kernel, method.name)()
+        finally:
+            ctx = self.kernel.release_context()
+
+        emissions: list[tuple[str, Item]] = list(ctx.writes)
+        emissions.extend(ctx.token_writes)
+        if (
+            firing.kind == "token"
+            and token is not None
+            and self.kernel.forwards_token(method)
+        ):
+            for out in method.outputs:
+                emissions.append((out, token))
+        if self.kernel.charges_element_io:
+            elements_read = ctx.elements_read
+            elements_written = ctx.elements_written
+            if (
+                self.kernel.sequential_input_reuse
+                and firing.kind == "method"
+                and len(consumed) == 1
+            ):
+                # Figure 9: consecutive windows from a dedicated buffer —
+                # only the fresh columns of each window are new reads.
+                port = next(iter(consumed))
+                spec = self.kernel.input_spec(port)
+                fresh = spec.step.x * spec.window.h
+                elements_read = min(elements_read, fresh)
+        else:
+            # Routers move chunk descriptors: one access per chunk.
+            elements_read = len(consumed)
+            elements_written = len(ctx.writes)
+        if ctx.dynamic_cycles is not None:
+            cycles = ctx.dynamic_cycles
+            dynamic = True
+        else:
+            cycles = method.cost.cycles
+            dynamic = False
+        return FiringResult(
+            kernel=self.name,
+            label=method.name,
+            cycles=cycles,
+            elements_read=elements_read,
+            elements_written=elements_written,
+            emissions=emissions,
+            declared_cycles=method.cost.cycles,
+            dynamic=dynamic,
+        )
+
+    def _execute_forward(self, firing: Firing) -> FiringResult:
+        token = firing.token
+        assert token is not None
+        for port in firing.consume_ports:
+            popped = self.inputs[port].pop()
+            assert isinstance(popped, ControlToken)
+        emissions: list[tuple[str, Item]] = []
+        if firing.method is not None:
+            if self.kernel.should_forward_token(firing.method, token):
+                for out in firing.method.outputs:
+                    emissions.append((out, token))
+            self.kernel.on_token_forwarded(firing.method, token)
+        return FiringResult(
+            kernel=self.name,
+            label="<forward>",
+            cycles=FORWARD_CYCLES,
+            elements_read=0,
+            elements_written=0,
+            emissions=emissions,
+        )
+
+
+def build_runtime(
+    app: ApplicationGraph,
+) -> tuple[dict[str, RuntimeKernel], list[Channel]]:
+    """Instantiate runtime kernels and channels for a compiled graph.
+
+    Kernels are reset so repeated simulations of one graph start clean.
+    """
+    runtimes = {name: RuntimeKernel(k) for name, k in app.kernels.items()}
+    for rk in runtimes.values():
+        rk.kernel.reset()
+    channels: list[Channel] = []
+    seq = SeqCounter()  # shared so cross-channel arrival order is total
+    for edge in app.edges:
+        channel = Channel(edge.src, edge.src_port, edge.dst, edge.dst_port, seq)
+        channels.append(channel)
+        runtimes[edge.dst].inputs[edge.dst_port] = channel
+        runtimes[edge.src].outputs[edge.src_port].append(channel)
+    return runtimes, channels

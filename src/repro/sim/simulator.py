@@ -1,0 +1,472 @@
+"""Timing-accurate functional simulator (Section IV-D).
+
+A discrete-event simulation of a compiled application on its
+kernel-to-processor mapping.  Exactly like the paper's simulator it
+accounts for kernel execution time, data access time, buffer transfer
+time, and scheduling — and deliberately ignores placement and
+communication delay, which for a throughput-constrained application only
+adds first-output latency.
+
+Model
+-----
+* Application inputs inject one element every ``1 / (W*H*rate)`` seconds
+  in scan-line order, with end-of-line/end-of-frame tokens in-stream; the
+  input cannot be stalled, so its immediate channels have finite capacity
+  and an overrun is a real-time violation.
+* Each firing occupies its kernel's processing element for
+  ``read + run + write`` time: per-element port access costs around the
+  declared method cycles.
+* Kernels mapped to one element are serviced in arrival order with
+  round-robin fairness — time multiplexing (Section V).
+* Boundary kernels (inputs, constant sources, outputs) model off-chip I/O
+  and execute without occupying a processing element.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..graph.app import ApplicationGraph
+from ..kernels.sources import ApplicationInput, ApplicationOutput, ConstantSource
+from ..machine.processor import ProcessorSpec
+from ..transform.compile import CompiledApp
+from ..transform.multiplex import Mapping as KernelMapping
+from .functional import source_items
+from .runtime import Channel, RuntimeKernel, build_runtime
+from .stats import ProcessorStats, RealTimeVerdict, UtilizationSummary
+from .trace import TraceEvent
+
+__all__ = ["BudgetOverrun", "SimulationOptions", "SimulationResult",
+           "Simulator", "simulate"]
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationOptions:
+    """Simulation knobs."""
+
+    #: Input frames to inject.
+    frames: int = 4
+    #: Capacity (items) of channels fed directly by an application input;
+    #: exceeding it means the unstallable input overran its consumer.
+    input_channel_capacity: int = 64
+    #: Capacity of every other channel, or None for unbounded (the
+    #: default, matching the paper's throughput-only model).  Setting a
+    #: small value models the implicit single-iteration port buffers and
+    #: makes producers stall when consumers lag — the Figure 9(b) effect.
+    channel_capacity: int | None = None
+    #: Per-channel capacity overrides keyed ``(src, src_port, dst,
+    #: dst_port)``; takes precedence over ``channel_capacity``.  A buffer
+    #: kernel's storage effectively extends its output channel, so the
+    #: Figure 9(c) experiment gives buffer-fed channels their declared
+    #: storage as capacity.
+    channel_capacity_overrides: Mapping[tuple[str, str, str, str], int] | None = None
+    #: Record a TraceEvent per firing (see repro.sim.trace).
+    trace: bool = False
+    #: Tolerance on the steady-state frame interval for the verdict.
+    throughput_tolerance: float = 0.05
+    #: Safety valve on total events.
+    max_events: int = 20_000_000
+
+
+@dataclass(slots=True)
+class _Violation:
+    time: float
+    where: str
+    detail: str
+
+
+@dataclass(slots=True)
+class BudgetOverrun:
+    """A runtime exception record: a firing exceeded its declared cycles.
+
+    Section VII's future-work extension — "runtime exceptions to indicate
+    when a kernel has exceeded its allocated resources".  Overruns do not
+    abort the simulation (the data still flows); they surface in the
+    result so a supervisor could react, and the throughput verdict shows
+    their real-time consequences.
+    """
+
+    time: float
+    kernel: str
+    method: str
+    declared_cycles: float
+    actual_cycles: float
+
+    @property
+    def factor(self) -> float:
+        return (self.actual_cycles / self.declared_cycles
+                if self.declared_cycles > 0 else float("inf"))
+
+
+@dataclass(slots=True)
+class SimulationResult:
+    """Everything a benchmark harness needs from one simulation."""
+
+    app: ApplicationGraph
+    options: SimulationOptions
+    makespan_s: float
+    utilization: UtilizationSummary
+    #: Output kernel name -> arrival time of each received chunk.
+    output_times: Mapping[str, list[float]]
+    #: Output kernel name -> received chunks (same order).
+    outputs: Mapping[str, list[np.ndarray]]
+    violations: list[_Violation]
+    channels: list[Channel]
+    firings: Mapping[str, int]
+    #: Per-firing schedule records (empty unless options.trace).
+    trace: list[TraceEvent] = field(default_factory=list)
+    #: Runtime budget exceptions from variable-work kernels (Sec VII).
+    budget_overruns: list[BudgetOverrun] = field(default_factory=list)
+
+    def frame_completions(self, output: str, chunks_per_frame: int) -> list[float]:
+        """Completion time of each full frame at ``output``."""
+        times = self.output_times.get(output, [])
+        return [
+            times[i]
+            for i in range(chunks_per_frame - 1, len(times), chunks_per_frame)
+        ]
+
+    def verdict(
+        self,
+        output: str,
+        *,
+        rate_hz: float,
+        chunks_per_frame: int,
+        frames: int | None = None,
+    ) -> RealTimeVerdict:
+        """Real-time verdict at one application output.
+
+        Meets real-time when every expected frame completed, steady-state
+        completion intervals stay within tolerance of the frame period,
+        and the input never overran.  The first frame's fill latency is
+        excluded — the paper's model likewise treats initial latency as
+        irrelevant to throughput.
+        """
+        frames = frames if frames is not None else self.options.frames
+        period = 1.0 / rate_hz
+        completions = self.frame_completions(output, chunks_per_frame)
+        overruns = len(self.violations)
+        if len(completions) < frames:
+            return RealTimeVerdict(
+                meets=False,
+                frames_expected=frames,
+                frames_completed=len(completions),
+                worst_interval_s=float("inf"),
+                frame_period_s=period,
+                input_overruns=overruns,
+                reason="not all frames completed",
+            )
+        intervals = [
+            b - a for a, b in zip(completions, completions[1:frames])
+        ]
+        worst = max(intervals) if intervals else 0.0
+        ok = worst <= period * (1.0 + self.options.throughput_tolerance)
+        reason = "" if ok else "frame interval exceeds period"
+        if overruns:
+            ok = False
+            reason = "input overran its consumer"
+        return RealTimeVerdict(
+            meets=ok,
+            frames_expected=frames,
+            frames_completed=len(completions),
+            worst_interval_s=worst,
+            frame_period_s=period,
+            input_overruns=overruns,
+            reason=reason,
+        )
+
+
+# Event kinds, ordered so same-time events process deterministically:
+# deliveries before completions before polls.
+_DELIVER, _FINISH, _POLL = 0, 1, 2
+
+
+class Simulator:
+    """Discrete-event simulator for a compiled application."""
+
+    def __init__(
+        self,
+        graph: ApplicationGraph,
+        mapping: KernelMapping,
+        processor: ProcessorSpec,
+        options: SimulationOptions = SimulationOptions(),
+    ) -> None:
+        self.graph = graph
+        self.mapping = mapping
+        self.processor = processor
+        self.options = options
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        runtimes, channels = build_runtime(self.graph)
+        opts = self.options
+        events: list = []
+        seq = itertools.count()
+
+        proc_of: dict[str, int | None] = {
+            name: self.mapping.processor_of(name) for name in self.graph.kernels
+        }
+        proc_stats: dict[int, ProcessorStats] = {}
+        proc_free_at: dict[int, float] = {}
+        proc_pending: dict[int, deque] = {}
+        for name, proc in proc_of.items():
+            if proc is None:
+                continue
+            proc_stats.setdefault(proc, ProcessorStats(index=proc))
+            proc_stats[proc].kernels.add(name)
+            proc_free_at.setdefault(proc, 0.0)
+            proc_pending.setdefault(proc, deque())
+        kernel_running: dict[str, bool] = {name: False for name in runtimes}
+
+        input_channels = {
+            id(ch)
+            for ch in channels
+            if isinstance(runtimes[ch.src].kernel, ApplicationInput)
+        }
+        overrides = opts.channel_capacity_overrides or {}
+        for ch in channels:
+            key = (ch.src, ch.src_port, ch.dst, ch.dst_port)
+            if key in overrides:
+                ch.capacity = overrides[key]
+            elif (opts.channel_capacity is not None
+                  and id(ch) not in input_channels):
+                # Input-fed channels stay unbounded: the input cannot be
+                # stalled, overrun detection covers them instead.
+                ch.capacity = opts.channel_capacity
+        violations: list[_Violation] = []
+        trace: list[TraceEvent] = []
+        budget_overruns: list[BudgetOverrun] = []
+        output_times: dict[str, list[float]] = {
+            name: []
+            for name, rk in runtimes.items()
+            if isinstance(rk.kernel, ApplicationOutput)
+        }
+
+        # Deliveries at a timestamp always process before polls at that
+        # timestamp (event-kind ordering), so one queued poll per kernel
+        # per timestamp observes everything — duplicates are pure waste.
+        queued_polls: dict[str, float] = {}
+
+        def push(time: float, kind: int, payload) -> None:
+            if kind == _POLL:
+                if queued_polls.get(payload) == time:
+                    return
+                queued_polls[payload] = time
+            heapq.heappush(events, (time, kind, next(seq), payload))
+
+        def deliver(time: float, rk_src: RuntimeKernel, port: str, item) -> None:
+            for ch in rk_src.outputs.get(port, ()):
+                ch.push(item)
+                if (
+                    id(ch) in input_channels
+                    and len(ch.items) > opts.input_channel_capacity
+                ):
+                    violations.append(
+                        _Violation(
+                            time=time,
+                            where=f"{ch.src}->{ch.dst}.{ch.dst_port}",
+                            detail="input overran its consumer",
+                        )
+                    )
+                push(time, _POLL, ch.dst)
+
+        # --- startup: init methods, then source schedules ---------------
+        for name, rk in runtimes.items():
+            for result in rk.run_init():
+                for port, item in result.emissions:
+                    deliver(0.0, rk, port, item)
+
+        horizon = 0.0
+        # Constant sources inject before the real-time inputs so that at
+        # t=0 coefficient/bin loads beat the first data element (the same
+        # ordering the functional executor guarantees).
+        for name, rk in runtimes.items():
+            if isinstance(rk.kernel, ConstantSource):
+                push(0.0, _DELIVER, (name, "out", rk.kernel.values.copy()))
+        for name, rk in runtimes.items():
+            kernel = rk.kernel
+            if isinstance(kernel, ApplicationInput):
+                period = kernel.element_period
+                t = 0.0
+                for item in source_items(kernel, opts.frames):
+                    push(t, _DELIVER, (name, "out", item))
+                    if isinstance(item, np.ndarray):
+                        t += period
+                horizon = max(horizon, opts.frames / kernel.rate_hz)
+
+        # --- main loop ---------------------------------------------------
+        makespan = 0.0
+        processed = 0
+        while events:
+            time, kind, _, payload = heapq.heappop(events)
+            makespan = max(makespan, time)
+            processed += 1
+            if processed > opts.max_events:
+                raise SimulationError(
+                    f"simulation exceeded {opts.max_events} events; "
+                    "the application is likely livelocked"
+                )
+            if kind == _DELIVER:
+                src_name, port, item = payload
+                deliver(time, runtimes[src_name], port, item)
+            elif kind == _POLL:
+                if queued_polls.get(payload) == time:
+                    del queued_polls[payload]
+                self._try_fire(
+                    time, runtimes[payload], runtimes, proc_of, proc_stats,
+                    proc_free_at, proc_pending, kernel_running, push,
+                    output_times, trace, budget_overruns,
+                )
+            else:  # _FINISH
+                kernel_name, result = payload
+                rk = runtimes[kernel_name]
+                kernel_running[kernel_name] = False
+                for port, item in result.emissions:
+                    deliver(time, rk, port, item)
+                proc = proc_of[kernel_name]
+                if proc is not None:
+                    pending = proc_pending[proc]
+                    pending.append(kernel_name)
+                    while pending:
+                        nxt = pending.popleft()
+                        push(time, _POLL, nxt)
+                        break
+                    # Poll everything else sharing the element too; only
+                    # one will win the (now free) processor.
+                    for other in list(pending):
+                        push(time, _POLL, other)
+                    pending.clear()
+
+        duration = max(makespan, horizon)
+        utilization = UtilizationSummary(
+            duration_s=duration, processors=dict(proc_stats)
+        )
+        outputs = {
+            name: list(rk.kernel.received)
+            for name, rk in runtimes.items()
+            if isinstance(rk.kernel, ApplicationOutput)
+        }
+        return SimulationResult(
+            app=self.graph,
+            options=opts,
+            makespan_s=makespan,
+            utilization=utilization,
+            output_times=output_times,
+            outputs=outputs,
+            violations=violations,
+            channels=channels,
+            firings={name: rk.firings for name, rk in runtimes.items()},
+            trace=trace,
+            budget_overruns=budget_overruns,
+        )
+
+    # ------------------------------------------------------------------
+    def _try_fire(
+        self,
+        time: float,
+        rk: RuntimeKernel,
+        runtimes: dict[str, RuntimeKernel],
+        proc_of: dict[str, int | None],
+        proc_stats: dict[int, ProcessorStats],
+        proc_free_at: dict[int, float],
+        proc_pending: dict[int, deque],
+        kernel_running: dict[str, bool],
+        push,
+        output_times: dict[str, list[float]],
+        trace: list[TraceEvent],
+        budget_overruns: list[BudgetOverrun],
+    ) -> None:
+        name = rk.name
+        if kernel_running[name]:
+            return
+        proc = proc_of[name]
+
+        bounded = (
+            self.options.channel_capacity is not None
+            or bool(self.options.channel_capacity_overrides)
+        )
+
+        def wake_producers(firing) -> None:
+            # Consuming freed channel space; stalled producers may resume.
+            if not bounded:
+                return
+            for port in firing.consume_ports:
+                ch = rk.inputs.get(port)
+                if ch is not None and ch.capacity is not None:
+                    push(time, _POLL, ch.src)
+
+        if proc is None:
+            # Off-chip boundary kernel: executes instantly.
+            while True:
+                firing = rk.ready_firing()
+                if firing is None:
+                    return
+                result = rk.execute(firing)
+                wake_producers(firing)
+                if isinstance(rk.kernel, ApplicationOutput):
+                    arrivals = [
+                        1 for p in firing.consume_ports
+                    ] if firing.kind == "method" else []
+                    for _ in arrivals:
+                        output_times[name].append(time)
+                for port, item in result.emissions:
+                    for ch in rk.outputs.get(port, ()):
+                        ch.push(item)
+                        push(time, _POLL, ch.dst)
+
+        else:
+            if proc_free_at[proc] > time:
+                if name not in proc_pending[proc]:
+                    proc_pending[proc].append(name)
+                return
+            firing = rk.ready_firing()
+            if firing is None:
+                return
+            if bounded and not all(
+                ch.space_for(rk.kernel.max_emissions_per_firing)
+                for chans in rk.outputs.values()
+                for ch in chans
+            ):
+                # Backpressure stall: re-polled when a consumer frees space.
+                return
+            result = rk.execute(firing)
+            wake_producers(firing)
+            if result.dynamic and result.cycles > result.declared_cycles:
+                budget_overruns.append(BudgetOverrun(
+                    time=time, kernel=name, method=result.label,
+                    declared_cycles=result.declared_cycles,
+                    actual_cycles=result.cycles,
+                ))
+            read_s, run_s, write_s = self.processor.firing_time(
+                result.cycles, result.elements_read, result.elements_written
+            )
+            duration = read_s + run_s + write_s
+            stats = proc_stats[proc]
+            stats.read_s += read_s
+            stats.run_s += run_s
+            stats.write_s += write_s
+            stats.firings += 1
+            proc_free_at[proc] = time + duration
+            kernel_running[name] = True
+            if self.options.trace:
+                trace.append(TraceEvent(
+                    start_s=time, processor=proc, kernel=name,
+                    method=result.label, read_s=read_s, run_s=run_s,
+                    write_s=write_s,
+                ))
+            push(time + duration, _FINISH, (name, result))
+
+
+def simulate(
+    compiled: CompiledApp, options: SimulationOptions = SimulationOptions()
+) -> SimulationResult:
+    """Simulate a compiled application on its mapping."""
+    sim = Simulator(compiled.graph, compiled.mapping, compiled.processor, options)
+    return sim.run()

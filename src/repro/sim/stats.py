@@ -1,0 +1,107 @@
+"""Simulation statistics: utilization breakdown and real-time verdicts.
+
+Processor busy time is split into run (kernel execution), read (input
+access), and write (output access) components — the three bars of
+Figure 13.  Real-time verdicts combine input-overrun detection with
+steady-state throughput at the application outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["ProcessorStats", "UtilizationSummary", "RealTimeVerdict"]
+
+
+@dataclass(slots=True)
+class ProcessorStats:
+    """Accumulated busy time for one processing element."""
+
+    index: int
+    read_s: float = 0.0
+    run_s: float = 0.0
+    write_s: float = 0.0
+    firings: int = 0
+    kernels: set = field(default_factory=set)
+
+    @property
+    def busy_s(self) -> float:
+        return self.read_s + self.run_s + self.write_s
+
+    def utilization(self, duration: float) -> float:
+        return self.busy_s / duration if duration > 0 else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class UtilizationSummary:
+    """Fleet-wide utilization over a simulation window (Figures 12/13)."""
+
+    duration_s: float
+    processors: Mapping[int, ProcessorStats]
+
+    @property
+    def processor_count(self) -> int:
+        return len(self.processors)
+
+    @property
+    def total_busy_s(self) -> float:
+        return sum(p.busy_s for p in self.processors.values())
+
+    @property
+    def average_utilization(self) -> float:
+        """Mean per-processor utilization — the Figure 13 bar height."""
+        if not self.processors or self.duration_s <= 0:
+            return 0.0
+        return self.total_busy_s / (self.processor_count * self.duration_s)
+
+    def component_fractions(self) -> dict[str, float]:
+        """Average utilization split into run/read/write components."""
+        denom = self.processor_count * self.duration_s
+        if denom <= 0:
+            return {"run": 0.0, "read": 0.0, "write": 0.0}
+        return {
+            "run": sum(p.run_s for p in self.processors.values()) / denom,
+            "read": sum(p.read_s for p in self.processors.values()) / denom,
+            "write": sum(p.write_s for p in self.processors.values()) / denom,
+        }
+
+    def describe(self) -> str:
+        comp = self.component_fractions()
+        lines = [
+            f"{self.processor_count} processors over {self.duration_s * 1e3:.3f} ms: "
+            f"avg utilization {self.average_utilization:.1%} "
+            f"(run {comp['run']:.1%}, read {comp['read']:.1%}, "
+            f"write {comp['write']:.1%})"
+        ]
+        for idx, p in sorted(self.processors.items()):
+            lines.append(
+                f"  PE{idx}: {p.utilization(self.duration_s):6.1%} "
+                f"({', '.join(sorted(p.kernels))})"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True, slots=True)
+class RealTimeVerdict:
+    """Did the application keep up with its input rate?"""
+
+    meets: bool
+    frames_expected: int
+    frames_completed: int
+    #: Worst inter-frame completion interval over the steady tail, seconds.
+    worst_interval_s: float
+    frame_period_s: float
+    input_overruns: int
+    reason: str = ""
+
+    def describe(self) -> str:
+        status = "MEETS" if self.meets else "MISSES"
+        return (
+            f"{status} real-time: {self.frames_completed}/"
+            f"{self.frames_expected} frames, worst interval "
+            f"{self.worst_interval_s * 1e3:.3f} ms vs period "
+            f"{self.frame_period_s * 1e3:.3f} ms, "
+            f"{self.input_overruns} input overruns"
+            + (f" ({self.reason})" if self.reason else "")
+        )

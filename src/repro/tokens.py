@@ -1,0 +1,97 @@
+"""Control tokens (Section II-C of the paper).
+
+Control tokens travel in-order with the data on stream channels (or on
+separate outputs) and let kernels receive irregular — but statically
+bounded — control messages.  Two token kinds are generated automatically by
+every application input: :class:`EndOfLine` after the last element of each
+scan line and :class:`EndOfFrame` after the last element of each frame.
+
+Kernels may define custom token classes, but each must declare the maximum
+rate at which it can be generated (tokens per frame) so the compiler can
+budget the resources consumed handling it.  This is the key difference from
+purely asynchronous "teleport messaging": control here is analyzable and its
+handler cost is charged against the real-time budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+__all__ = [
+    "ControlToken",
+    "EndOfLine",
+    "EndOfFrame",
+    "custom_token",
+    "token_rate_per_frame",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ControlToken:
+    """Base class for all control tokens.
+
+    ``max_per_frame`` is a *class-level* declaration of the worst-case
+    generation rate used by the resource analysis; instances carry optional
+    ``payload`` data (e.g. a new filter selector) and the frame/line indices
+    at which they were emitted, which the simulator uses for ordering checks.
+    """
+
+    #: Worst-case number of tokens of this class per input frame.
+    max_per_frame: ClassVar[int] = 1
+
+    frame: int = 0
+    line: int = -1
+    payload: Any = field(default=None, compare=False)
+
+    @classmethod
+    def token_name(cls) -> str:
+        return cls.__name__
+
+
+class EndOfLine(ControlToken):
+    """Emitted by an application input after the last element of a line.
+
+    There are ``frame_height`` of these per frame; the analysis queries
+    :func:`token_rate_per_frame` with the input geometry to budget for them.
+    """
+
+    max_per_frame: ClassVar[int] = -1  # geometry-dependent; see helper below
+
+
+class EndOfFrame(ControlToken):
+    """Emitted by an application input after the last element of a frame."""
+
+    max_per_frame: ClassVar[int] = 1
+
+
+def custom_token(name: str, max_per_frame: int) -> type[ControlToken]:
+    """Create a custom control-token class with a declared max rate.
+
+    Kernels are free to define their own control tokens as long as they
+    specify the maximum generation rate (Section II-C); this factory is the
+    declaration point.
+
+    >>> FilterChange = custom_token("FilterChange", max_per_frame=2)
+    >>> FilterChange.max_per_frame
+    2
+    """
+    if max_per_frame < 0:
+        raise ValueError("custom tokens must declare a non-negative max rate")
+    return type(name, (ControlToken,), {"max_per_frame": max_per_frame})
+
+
+def token_rate_per_frame(token_cls: type[ControlToken], frame_height: int) -> int:
+    """Worst-case tokens per frame for ``token_cls`` on a given input.
+
+    :class:`EndOfLine` scales with the frame height; everything else uses the
+    class-level declaration.
+    """
+    if issubclass(token_cls, EndOfLine):
+        return frame_height
+    rate = token_cls.max_per_frame
+    if rate < 0:
+        raise ValueError(
+            f"{token_cls.__name__} has no static per-frame rate declared"
+        )
+    return rate

@@ -1,0 +1,36 @@
+"""Compiler transformations: align, buffer, parallelize, map, compile."""
+
+from .align import align_application
+from .buffering import insert_buffers
+from .compile import CompiledApp, CompileOptions, compile_application
+from .multiplex import Mapping, map_greedy, map_one_to_one
+from .rate_search import RateSearchResult, find_max_rate
+from .reuse import (
+    ReusePlan,
+    minimum_output_buffer_words,
+    reuse_optimize_buffer,
+)
+from .parallelize import (
+    ParallelizationReport,
+    compute_degrees,
+    parallelize_application,
+)
+
+__all__ = [
+    "align_application",
+    "insert_buffers",
+    "CompiledApp",
+    "CompileOptions",
+    "compile_application",
+    "Mapping",
+    "map_greedy",
+    "map_one_to_one",
+    "RateSearchResult",
+    "find_max_rate",
+    "ParallelizationReport",
+    "ReusePlan",
+    "minimum_output_buffer_words",
+    "reuse_optimize_buffer",
+    "compute_degrees",
+    "parallelize_application",
+]

@@ -1,0 +1,156 @@
+"""Automatic trimming and padding (Section III-C, Figures 3 and 8).
+
+For every misaligned multi-input method the transform either:
+
+* ``policy="trim"`` — inserts :class:`InsetKernel` nodes on the oversized
+  inputs, discarding the margin elements so all inputs match the
+  intersection region (the inverted-house node of Figure 3); or
+* ``policy="pad"`` — grows the *input* of the kernel that produced the
+  undersized stream with a :class:`PadKernel` (zero fill), making its
+  output larger instead (the paper's "pad evenly around the input to the
+  convolution filter by 1 pixel on each side").
+
+The paper is explicit that the pad-vs-trim choice belongs to the
+programmer because it changes the result; the mechanics are automated
+here.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from ..errors import TransformError
+from ..graph.app import ApplicationGraph
+from ..kernels.inset import InsetKernel, PadKernel
+from ..analysis.alignment import Misalignment, find_misalignments
+
+__all__ = ["align_application"]
+
+AlignmentPolicy = Literal["trim", "pad"]
+
+#: Bound on pad/trim convergence sweeps; each sweep fixes at least one
+#: misaligned method, so the method count bounds the work.
+_MAX_SWEEPS = 64
+
+
+def align_application(
+    app: ApplicationGraph, *, policy: AlignmentPolicy = "trim"
+) -> list[str]:
+    """Repair every misalignment in place; returns inserted kernel names.
+
+    Runs repeated sweeps because repairing one method can expose (or be
+    prerequisite to analyzing) another further downstream.
+    """
+    if policy not in ("trim", "pad"):
+        raise TransformError(f"unknown alignment policy {policy!r}")
+    inserted: list[str] = []
+    for _ in range(_MAX_SWEEPS):
+        problems = find_misalignments(app)
+        if not problems:
+            return inserted
+        # Repair the topologically-first problem, then re-analyze: fixes
+        # upstream can change everything downstream.
+        problem = problems[0]
+        if policy == "trim":
+            inserted.extend(_repair_by_trimming(app, problem))
+        else:
+            inserted.extend(_repair_by_padding(app, problem))
+    raise TransformError(
+        f"alignment did not converge after {_MAX_SWEEPS} sweeps on "
+        f"{app.name!r}"
+    )
+
+
+def _repair_by_trimming(
+    app: ApplicationGraph, problem: Misalignment
+) -> list[str]:
+    inserted: list[str] = []
+    for port, trim in problem.trims.items():
+        if all(m == 0 for m in trim):
+            continue
+        edge = app.edge_into(problem.kernel, port)
+        assert edge is not None
+        region = problem.regions[port]
+        name = app.fresh_name(f"offset({port})")
+        inset = InsetKernel(
+            name,
+            region_w=region.extent.w,
+            region_h=region.extent.h,
+            trim=trim,
+        )
+        app.insert_on_edge(edge, inset, "in", "out")
+        inserted.append(name)
+    if not inserted:
+        raise TransformError(
+            f"misalignment at {problem.kernel}.{problem.method} has no "
+            "trimmable input; regions may differ only fractionally"
+        )
+    return inserted
+
+
+def _repair_by_padding(
+    app: ApplicationGraph, problem: Misalignment
+) -> list[str]:
+    """Grow undersized inputs by padding their *producer's* input.
+
+    The producer must be a single-data-input windowed kernel with unit
+    steps (padding its input by ``m`` grows its output by ``m`` per side);
+    anything else cannot be compensated by input padding and falls back to
+    an error directing the programmer to the trim policy.
+    """
+    # The pad target is the union: every region grows to cover it.
+    target = None
+    for region in problem.regions.values():
+        target = region if target is None else target.union_bound(region)
+    assert target is not None
+    inserted: list[str] = []
+    for port, region in problem.regions.items():
+        if region.aligned_with(target):
+            continue
+        grow = (
+            region.inset.x - target.inset.x,
+            region.inset.y - target.inset.y,
+            (target.inset.x + target.extent.w) - (region.inset.x + region.extent.w),
+            (target.inset.y + target.extent.h) - (region.inset.y + region.extent.h),
+        )
+        if any(g.denominator != 1 or g < 0 for g in grow):
+            raise TransformError(
+                f"{problem.kernel}.{port}: cannot pad to {target} from {region}"
+            )
+        margins = tuple(int(g) for g in grow)
+        edge = app.edge_into(problem.kernel, port)
+        assert edge is not None
+        producer = app.kernel(edge.src)
+        data_inputs = [
+            p for p, spec in producer.inputs.items() if not spec.replicated
+        ]
+        if len(data_inputs) != 1:
+            raise TransformError(
+                f"pad policy: producer {producer.name!r} of "
+                f"{problem.kernel}.{port} does not have exactly one data "
+                "input; use policy='trim'"
+            )
+        spec = producer.input_spec(data_inputs[0])
+        if (spec.step.x, spec.step.y) != (1, 1):
+            raise TransformError(
+                f"pad policy: producer {producer.name!r} has non-unit step "
+                f"{spec.step}; padding cannot grow its output exactly"
+            )
+        in_edge = app.edge_into(producer.name, data_inputs[0])
+        assert in_edge is not None
+        # The producer's input region: its output region minus the offset,
+        # plus the halo on each side.
+        halo_x, halo_y = spec.halo
+        in_w = region.extent.w + halo_x
+        in_h = region.extent.h + halo_y
+        name = app.fresh_name(f"pad({producer.name})")
+        pad = PadKernel(
+            name, region_w=in_w, region_h=in_h, pad=margins, fill=0.0
+        )
+        app.insert_on_edge(in_edge, pad, "in", "out")
+        inserted.append(name)
+    if not inserted:
+        raise TransformError(
+            f"misalignment at {problem.kernel}.{problem.method}: nothing to pad"
+        )
+    return inserted

@@ -1,0 +1,61 @@
+"""Automatic buffer insertion (Section III-B, Figure 3).
+
+After the dataflow analysis has established what every channel carries, any
+channel whose chunks do not match its consumer's window needs a Buffer
+kernel: the application input delivers ``1x1`` elements, but the 3x3 median
+needs ``3x3`` windows, so enough rows must be collected for the window to
+slide (Figure 3's parallelogram nodes).
+
+Buffers are sized from the parameterization alone — two window-heights of
+rows over the region width, double-buffering the larger side — exactly the
+``Buffer [20x10]`` style annotations of Figure 4.
+"""
+
+from __future__ import annotations
+
+from ..errors import TransformError
+from ..graph.app import ApplicationGraph
+from ..kernels.buffer import BufferKernel
+from ..analysis.dataflow import DataflowResult, analyze_dataflow
+
+__all__ = ["insert_buffers"]
+
+
+def insert_buffers(
+    app: ApplicationGraph, dataflow: DataflowResult | None = None
+) -> list[str]:
+    """Insert a Buffer kernel on every chunk-mismatched channel, in place.
+
+    Returns the inserted kernel names.  The graph must already be aligned:
+    buffering changes only physical chunking, never logical regions, so it
+    cannot repair extent or inset mismatches.
+    """
+    if dataflow is None:
+        dataflow = analyze_dataflow(app)
+    inserted: list[str] = []
+    for edge in app.edges:  # snapshot: insert_on_edge mutates the edge list
+        stream = dataflow.stream_on(edge)
+        consumer = app.kernel(edge.dst)
+        spec = consumer.input_spec(edge.dst_port)
+        if stream.chunk == spec.window:
+            continue
+        if not spec.window.fits_in(stream.extent):
+            raise TransformError(
+                f"channel {edge}: window {spec.window} does not fit in the "
+                f"stream region {stream.extent}"
+            )
+        name = app.fresh_name(f"buf_{edge.dst}.{edge.dst_port}")
+        buffer = BufferKernel(
+            name,
+            region_w=stream.extent.w,
+            region_h=stream.extent.h,
+            window_w=spec.window.w,
+            window_h=spec.window.h,
+            step_x=spec.step.x,
+            step_y=spec.step.y,
+            in_chunk_w=stream.chunk.w,
+            in_chunk_h=stream.chunk.h,
+        )
+        app.insert_on_edge(edge, buffer, "in", "out")
+        inserted.append(name)
+    return inserted

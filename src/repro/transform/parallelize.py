@@ -1,0 +1,371 @@
+"""Automatic parallelization (Section IV, Figure 4).
+
+From the kernel resource parameterization, the rates gathered by the
+dataflow analysis, and the per-processing-element capacities, the required
+degree of parallelism for each kernel is ``ceil(required rate x resources
+per iteration / PE capacity)`` — compute-bound for filter kernels,
+memory-bound for buffers.
+
+* **Data-parallel kernels** (Section IV-A) are replicated and wrapped in
+  round-robin split/join kernels; *replicated* inputs get a Replicate
+  kernel instead of a split so every instance sees the same data.
+* **Data-dependency edges** (Section IV-B) cap a kernel's degree at its
+  dependency source's degree; chains of dependency edges replicate whole
+  pipelines together, and a join feeding nothing but a matching split is
+  fused away so pipeline stages connect instance-to-instance.
+* **Buffers** (Section IV-C, Figure 10) are never round-robin split —
+  that would reorder data.  They split column-wise, with the window
+  overlap replicated to both parts, and a counted join re-interleaves the
+  window streams in scan order.
+* Other non-data-parallel kernels may supply a ``custom_parallelize``
+  routine; without one, a required degree above their cap is a
+  compile-time :class:`ParallelizationError` — the real-time constraint
+  cannot be met.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.dataflow import DataflowResult, analyze_dataflow
+from ..analysis.resources import (
+    DEFAULT_UTILIZATION_TARGET,
+    ResourceAnalysis,
+    analyze_resources,
+)
+from ..errors import ParallelizationError
+from ..geometry import iteration_count
+from ..graph.app import ApplicationGraph
+from ..graph.kernel import Kernel
+from ..kernels.buffer import BufferKernel
+from ..kernels.sources import ApplicationInput, ApplicationOutput, ConstantSource
+from ..kernels.splitjoin import (
+    ColumnSplit,
+    CountedJoin,
+    ReplicateKernel,
+    RoundRobinJoin,
+    RoundRobinSplit,
+)
+from ..machine.processor import ProcessorSpec
+
+__all__ = ["ParallelizationReport", "parallelize_application"]
+
+
+@dataclass(slots=True)
+class ParallelizationReport:
+    """What the parallelize pass did to the graph."""
+
+    #: Final degree chosen for every original kernel.
+    degrees: dict[str, int] = field(default_factory=dict)
+    #: Original kernel name -> instance names (only kernels with degree > 1).
+    groups: dict[str, list[str]] = field(default_factory=dict)
+    #: Structural kernels inserted, by kind.
+    splits: list[str] = field(default_factory=list)
+    joins: list[str] = field(default_factory=list)
+    replicates: list[str] = field(default_factory=list)
+    #: Join/split pairs fused into direct pipeline wiring.
+    fused_pairs: list[tuple[str, str]] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = ["parallelization:"]
+        for name, degree in self.degrees.items():
+            if degree > 1:
+                lines.append(f"  {name}: x{degree} -> {self.groups.get(name)}")
+        if self.fused_pairs:
+            lines.append(f"  fused pipeline pairs: {self.fused_pairs}")
+        return "\n".join(lines)
+
+
+def _is_boundary(kernel: Kernel) -> bool:
+    return isinstance(kernel, (ApplicationInput, ApplicationOutput, ConstantSource))
+
+
+def compute_degrees(
+    app: ApplicationGraph, resources: ResourceAnalysis
+) -> dict[str, int]:
+    """Required degree per kernel, with dependency-edge caps applied.
+
+    Processed in topological order so caps chain along pipelines
+    (Section IV-B).  Dependency edges that would force a kernel below its
+    required degree make the real-time constraint unmeetable — an error,
+    not a silent miss.
+    """
+    degrees: dict[str, int] = {}
+    for name in app.topological_order():
+        kernel = app.kernel(name)
+        if _is_boundary(kernel):
+            degrees[name] = 1
+            continue
+        required = resources.resources(name).degree
+        cap = min(
+            (degrees[src] for src in app.dependency_sources(name)),
+            default=None,
+        )
+        if cap is not None and required > cap:
+            raise ParallelizationError(
+                f"kernel {name!r} needs degree {required} to meet its rate "
+                f"but a data-dependency edge caps it at {cap}"
+            )
+        degrees[name] = required
+    return degrees
+
+
+def parallelize_application(
+    app: ApplicationGraph,
+    processor: ProcessorSpec,
+    *,
+    dataflow: DataflowResult | None = None,
+    resources: ResourceAnalysis | None = None,
+    utilization_target: float = DEFAULT_UTILIZATION_TARGET,
+    fuse_pipelines: bool = True,
+) -> ParallelizationReport:
+    """Parallelize ``app`` in place to meet its real-time input rates."""
+    if dataflow is None:
+        dataflow = analyze_dataflow(app)
+    if resources is None:
+        resources = analyze_resources(
+            app, processor, dataflow, utilization_target=utilization_target
+        )
+    report = ParallelizationReport()
+    report.degrees = compute_degrees(app, resources)
+
+    for name in list(app.topological_order()):
+        degree = report.degrees.get(name, 1)
+        if degree <= 1:
+            continue
+        kernel = app.kernel(name)
+        if isinstance(kernel, BufferKernel):
+            _split_buffer(app, kernel, degree, processor, report)
+        elif kernel.custom_parallelize is not None:
+            kernel.custom_parallelize(app, kernel, degree, report)
+        elif kernel.data_parallel:
+            _replicate_kernel(app, kernel, degree, report)
+        else:
+            raise ParallelizationError(
+                f"kernel {name!r} needs degree {degree} but is not data "
+                "parallel and provides no custom parallelization routine; "
+                "add a data-dependency edge or split it manually "
+                "(Section IV-C)"
+            )
+
+    if fuse_pipelines:
+        _fuse_join_split_pairs(app, report)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Data-parallel replication (Section IV-A)
+# ----------------------------------------------------------------------
+def _replicate_kernel(
+    app: ApplicationGraph,
+    kernel: Kernel,
+    degree: int,
+    report: ParallelizationReport,
+) -> None:
+    name = kernel.name
+    in_edges = {port: app.edge_into(name, port) for port in kernel.inputs}
+    out_edges = {port: app.edges_from(name, port) for port in kernel.outputs}
+
+    clones = []
+    for i in range(degree):
+        clone = kernel.clone(app.fresh_name(f"{name}_{i}"))
+        app.add_kernel(clone)
+        clones.append(clone)
+    report.groups[name] = [c.name for c in clones]
+
+    for port, spec in kernel.inputs.items():
+        edge = in_edges[port]
+        assert edge is not None, f"unconnected input {name}.{port}"
+        app.remove_edge(edge)
+        if spec.replicated:
+            dist: Kernel = ReplicateKernel(
+                app.fresh_name(f"rep_{name}.{port}"),
+                degree, spec.window.w, spec.window.h,
+            )
+            report.replicates.append(dist.name)
+        else:
+            dist = RoundRobinSplit(
+                app.fresh_name(f"split_{name}.{port}"),
+                degree, spec.window.w, spec.window.h,
+            )
+            report.splits.append(dist.name)
+        app.add_kernel(dist)
+        app.connect(edge.src, edge.src_port, dist.name, "in")
+        for i, clone in enumerate(clones):
+            app.connect(dist.name, f"out_{i}", clone.name, port)
+
+    for port, spec in kernel.outputs.items():
+        edges = out_edges[port]
+        join = RoundRobinJoin(
+            app.fresh_name(f"join_{name}.{port}"),
+            degree, spec.window.w, spec.window.h,
+        )
+        app.add_kernel(join)
+        report.joins.append(join.name)
+        for i, clone in enumerate(clones):
+            app.connect(clone.name, port, join.name, f"in_{i}")
+        for edge in edges:
+            app.remove_edge(edge)
+            app.connect(join.name, "out", edge.dst, edge.dst_port)
+
+    app.remove_kernel(name)
+
+
+# ----------------------------------------------------------------------
+# Column-wise buffer splitting (Section IV-C, Figure 10)
+# ----------------------------------------------------------------------
+def _split_buffer(
+    app: ApplicationGraph,
+    buffer: BufferKernel,
+    degree: int,
+    processor: ProcessorSpec,
+    report: ParallelizationReport,
+) -> None:
+    name = buffer.name
+    if buffer.in_chunk_w != 1 or buffer.in_chunk_h != 1:
+        raise ParallelizationError(
+            f"buffer {name!r}: only element-chunk buffers can be column split"
+        )
+    n_x = iteration_count(buffer.region_w, buffer.window_w, buffer.step_x)
+
+    # Overlap replication widens the parts, so the memory-driven degree may
+    # need to grow until every part's storage fits a processing element.
+    parts = None
+    chosen = degree
+    for d in range(degree, n_x + 1):
+        candidate = _plan_columns(buffer, d)
+        widest = max(hi - lo + 1 for (lo, hi), _ in candidate)
+        if widest * buffer.storage_rows <= processor.memory_words:
+            parts, chosen = candidate, d
+            break
+    if parts is None:
+        raise ParallelizationError(
+            f"buffer {name!r}: even {n_x}-way column splitting cannot fit "
+            f"{buffer.storage_rows} rows in {processor.memory_words} words"
+        )
+
+    in_edge = app.edge_into(name, "in")
+    out_edges = app.edges_from(name, "out")
+    assert in_edge is not None
+
+    split = ColumnSplit(
+        app.fresh_name(f"split_{name}"),
+        region_w=buffer.region_w,
+        region_h=buffer.region_h,
+        ranges=[r for r, _ in parts],
+    )
+    app.add_kernel(split)
+    report.splits.append(split.name)
+
+    join = CountedJoin(
+        app.fresh_name(f"join_{name}"),
+        [c for _, c in parts],
+        buffer.window_w,
+        buffer.window_h,
+    )
+    app.add_kernel(join)
+    report.joins.append(join.name)
+
+    instances = []
+    for i, ((lo, hi), _count) in enumerate(parts):
+        part = BufferKernel(
+            app.fresh_name(f"{name}_{i}"),
+            region_w=hi - lo + 1,
+            region_h=buffer.region_h,
+            window_w=buffer.window_w,
+            window_h=buffer.window_h,
+            step_x=buffer.step_x,
+            step_y=buffer.step_y,
+        )
+        app.add_kernel(part)
+        instances.append(part.name)
+    report.groups[name] = instances
+    report.degrees[name] = chosen
+
+    app.remove_edge(in_edge)
+    app.connect(in_edge.src, in_edge.src_port, split.name, "in")
+    for i, part_name in enumerate(instances):
+        app.connect(split.name, f"out_{i}", part_name, "in")
+        app.connect(part_name, "out", join.name, f"in_{i}")
+    for edge in out_edges:
+        app.remove_edge(edge)
+        app.connect(join.name, "out", edge.dst, edge.dst_port)
+    app.remove_kernel(name)
+
+
+def _plan_columns(
+    buffer: BufferKernel, degree: int
+) -> list[tuple[tuple[int, int], int]]:
+    """((input col lo, hi), window count) per part for a column split.
+
+    Window positions are divided into ``degree`` balanced contiguous
+    groups; each part's input columns span its windows plus the halo, so
+    consecutive parts overlap by ``window - step`` columns — the shaded
+    shared samples of Figure 10.
+    """
+    n_x = iteration_count(buffer.region_w, buffer.window_w, buffer.step_x)
+    if degree > n_x:
+        raise ParallelizationError(
+            f"buffer {buffer.name!r}: cannot split {n_x} window columns "
+            f"{degree} ways"
+        )
+    base, extra = divmod(n_x, degree)
+    parts: list[tuple[tuple[int, int], int]] = []
+    pos = 0
+    for i in range(degree):
+        count = base + (1 if i < extra else 0)
+        lo = pos * buffer.step_x
+        hi = (pos + count - 1) * buffer.step_x + buffer.window_w - 1
+        parts.append(((lo, hi), count))
+        pos += count
+    return parts
+
+
+# ----------------------------------------------------------------------
+# Pipeline fusion (Section IV-B)
+# ----------------------------------------------------------------------
+def _fuse_join_split_pairs(
+    app: ApplicationGraph, report: ParallelizationReport
+) -> None:
+    """Remove round-robin join/split pairs of equal width.
+
+    A join that feeds nothing but a same-degree round-robin split moves
+    item ``k`` from producer ``k mod n`` to consumer ``k mod n``; wiring
+    producer *i* straight to consumer *i* is equivalent (tokens included:
+    both sides broadcast/merge once per instance) and turns replicated
+    pipeline stages into true parallel pipelines.
+    """
+    changed = True
+    while changed:
+        changed = False
+        for kernel in list(app.iter_kernels()):
+            if type(kernel) is not RoundRobinJoin:
+                continue
+            out_edges = app.edges_from(kernel.name, "out")
+            if len(out_edges) != 1:
+                continue
+            succ = app.kernel(out_edges[0].dst)
+            if type(succ) is not RoundRobinSplit or succ.n != kernel.n:
+                continue
+            if (kernel.chunk_w, kernel.chunk_h) != (succ.chunk_w, succ.chunk_h):
+                continue
+            sources = []
+            for i in range(kernel.n):
+                e = app.edge_into(kernel.name, f"in_{i}")
+                assert e is not None
+                sources.append((e.src, e.src_port))
+            dests = []
+            for i in range(succ.n):
+                branch = app.edges_from(succ.name, f"out_{i}")
+                if len(branch) != 1:
+                    break
+                dests.append((branch[0].dst, branch[0].dst_port))
+            if len(dests) != succ.n:
+                continue
+            app.remove_kernel(kernel.name)
+            app.remove_kernel(succ.name)
+            for (src, sp), (dst, dp) in zip(sources, dests):
+                app.connect(src, sp, dst, dp)
+            report.fused_pairs.append((kernel.name, succ.name))
+            changed = True
+            break

@@ -1,0 +1,148 @@
+"""The StreamIt-style inverse query: maximum rate on a processor budget.
+
+Section VI contrasts the two optimization directions: StreamIt uses a
+*fixed number of processors* to reach the highest rate possible, while
+this system finds the *minimum processors* for a fixed rate.  Because the
+compiler is fully automatic, the StreamIt-style query reduces to a search
+over input rates: compile the application at a candidate rate, accept if
+it fits the processor budget (and, optionally, the static admission
+test), and binary-search the highest acceptable rate.
+
+The application builder is a callable ``rate -> ApplicationGraph`` so
+every probe gets a fresh graph with its input rate baked in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..analysis.schedule import build_static_schedule
+from ..errors import BlockParallelError, TransformError
+from ..graph.app import ApplicationGraph
+from ..machine.processor import ProcessorSpec
+from .compile import CompiledApp, CompileOptions, compile_application
+
+__all__ = ["RateSearchResult", "find_max_rate"]
+
+
+@dataclass(frozen=True, slots=True)
+class RateSearchResult:
+    """Outcome of a maximum-rate search."""
+
+    best_rate_hz: float
+    compiled: CompiledApp
+    processor_budget: int
+    probes: int
+    #: (rate, accepted) for every probe, in search order.
+    history: tuple[tuple[float, bool], ...]
+
+    def describe(self) -> str:
+        return (
+            f"max rate {self.best_rate_hz:g} Hz on "
+            f"{self.compiled.processor_count}/{self.processor_budget} "
+            f"processors ({self.probes} probes)"
+        )
+
+
+def _acceptable(
+    build: Callable[[float], ApplicationGraph],
+    rate: float,
+    processor: ProcessorSpec,
+    budget: int,
+    options: CompileOptions,
+    require_admissible: bool,
+) -> CompiledApp | None:
+    try:
+        compiled = compile_application(build(rate), processor, options)
+    except BlockParallelError:
+        return None  # e.g. a serial kernel that cannot reach this rate
+    if compiled.processor_count > budget:
+        return None
+    if require_admissible and not build_static_schedule(compiled).admissible:
+        return None
+    return compiled
+
+
+def find_max_rate(
+    build: Callable[[float], ApplicationGraph],
+    processor: ProcessorSpec,
+    *,
+    processor_budget: int,
+    low_hz: float = 1.0,
+    high_hz: float | None = None,
+    tolerance: float = 0.02,
+    options: CompileOptions = CompileOptions(),
+    require_admissible: bool = True,
+    max_probes: int = 64,
+) -> RateSearchResult:
+    """Binary-search the highest input rate fitting ``processor_budget``.
+
+    ``low_hz`` must be achievable (it is verified first).  ``high_hz``
+    defaults to geometric doubling from ``low_hz`` until a rate fails.
+    The search stops when the bracket is within ``tolerance`` (relative).
+    """
+    if processor_budget < 1:
+        raise TransformError("processor budget must be at least 1")
+    history: list[tuple[float, bool]] = []
+    probes = 0
+
+    def probe(rate: float) -> CompiledApp | None:
+        nonlocal probes
+        probes += 1
+        if probes > max_probes:
+            raise TransformError(
+                f"rate search exceeded {max_probes} probes; widen tolerance"
+            )
+        compiled = _acceptable(
+            build, rate, processor, processor_budget, options,
+            require_admissible,
+        )
+        history.append((rate, compiled is not None))
+        return compiled
+
+    best = probe(low_hz)
+    if best is None:
+        raise TransformError(
+            f"the application does not fit {processor_budget} processors "
+            f"even at {low_hz:g} Hz"
+        )
+    best_rate = low_hz
+
+    # Bracket: double until failure (or the caller-provided ceiling).
+    if high_hz is None:
+        high = low_hz
+        while True:
+            candidate = high * 2.0
+            compiled = probe(candidate)
+            if compiled is None:
+                high = candidate
+                break
+            best, best_rate, high = compiled, candidate, candidate
+    else:
+        high = high_hz
+        compiled = probe(high)
+        if compiled is not None:
+            return RateSearchResult(
+                best_rate_hz=high, compiled=compiled,
+                processor_budget=processor_budget, probes=probes,
+                history=tuple(history),
+            )
+
+    # Binary search inside (best_rate, high).
+    lo = best_rate
+    while high - lo > tolerance * max(lo, 1e-12):
+        mid = 0.5 * (lo + high)
+        compiled = probe(mid)
+        if compiled is None:
+            high = mid
+        else:
+            best, best_rate, lo = compiled, mid, mid
+
+    return RateSearchResult(
+        best_rate_hz=best_rate,
+        compiled=best,
+        processor_budget=processor_budget,
+        probes=probes,
+        history=tuple(history),
+    )

@@ -1,0 +1,215 @@
+"""Reuse-optimized buffer replication (Figure 9 — a paper extension).
+
+The default parallelization round-robins pre-cut windows to the kernel
+instances, which "ignores the possible data reuse that can occur at the
+computation kernel if iterations are executed in order" (Section IV-A).
+This transform implements the optimization the paper describes but did not
+evaluate: the input buffer is replicated into column bands, each feeding a
+*dedicated* kernel instance that therefore sees consecutive window
+positions and only pays for the fresh ``step_x x window_h`` column of each
+window (Figure 5's 24-of-25 steady-state reuse becomes real read traffic
+savings).
+
+Figure 9's caveat is also modeled: each instance produces its band of a
+row while the downstream join drains bands in scan order, so without
+per-branch output buffering an instance can only run one iteration ahead
+(the implicit port double buffer) — sufficient output buffers (Figure
+9(c)) decouple the instances so all can run continuously.
+:func:`minimum_output_buffer_words` reports the per-branch requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.dataflow import DataflowResult, analyze_dataflow
+from ..errors import TransformError
+from ..geometry import Size2D, Step2D, iteration_grid
+from ..graph.app import ApplicationGraph
+from ..kernels.buffer import BufferKernel
+from ..kernels.splitjoin import ColumnSplit, CountedJoin
+from .parallelize import _plan_columns
+
+__all__ = ["ReusePlan", "reuse_optimize_buffer", "minimum_output_buffer_words"]
+
+
+@dataclass(frozen=True, slots=True)
+class ReusePlan:
+    """What the reuse transform built."""
+
+    buffer: str
+    consumer: str
+    degree: int
+    #: ((input col lo, hi), window count) per branch.
+    parts: tuple[tuple[tuple[int, int], int], ...]
+    split: str
+    join: str
+    branch_buffers: tuple[str, ...]
+    consumer_instances: tuple[str, ...]
+    output_buffers: tuple[str, ...]
+
+    def describe(self) -> str:
+        lines = [
+            f"reuse-optimized {self.buffer} -> {self.consumer} x{self.degree}:"
+        ]
+        for (lo, hi), count in self.parts:
+            lines.append(f"  cols [{lo},{hi}] -> {count} windows/row")
+        if not self.output_buffers:
+            lines.append(
+                "  WARNING: no output buffers (Figure 9(b)); instances can "
+                "only run one iteration ahead of the join"
+            )
+        return "\n".join(lines)
+
+
+def minimum_output_buffer_words(
+    parts: tuple[tuple[tuple[int, int], int], ...] | list,
+) -> list[int]:
+    """Per-branch output storage for continuous operation (Figure 9(c)).
+
+    While the join drains branch *i*'s band of a row, every other branch
+    may complete its own band of the same row; holding one full band,
+    double-buffered, lets all instances run without stalling.
+    """
+    return [2 * count for (_, count) in parts]
+
+
+def reuse_optimize_buffer(
+    app: ApplicationGraph,
+    buffer_name: str,
+    degree: int,
+    *,
+    with_output_buffers: bool = True,
+) -> ReusePlan:
+    """Rewrite ``buffer -> consumer`` into the Figure 9 banded structure.
+
+    Preconditions: the buffer feeds exactly one windowed consumer with a
+    single data input and a single ``1x1`` output feeding one destination.
+    The consumer instances are flagged ``sequential_input_reuse`` so the
+    machine model charges only fresh columns per window.
+    """
+    buffer = app.kernel(buffer_name)
+    if not isinstance(buffer, BufferKernel):
+        raise TransformError(f"{buffer_name!r} is not a buffer kernel")
+    if degree < 2:
+        raise TransformError("reuse optimization needs degree >= 2")
+    out_edges = app.edges_from(buffer_name, "out")
+    if len(out_edges) != 1:
+        raise TransformError(
+            f"buffer {buffer_name!r} must feed exactly one consumer"
+        )
+    consumer = app.kernel(out_edges[0].dst)
+    data_inputs = [
+        p for p, spec in consumer.inputs.items() if not spec.replicated
+    ]
+    if len(data_inputs) != 1 or len(consumer.outputs) != 1:
+        raise TransformError(
+            f"consumer {consumer.name!r} must have one data input and one "
+            "output"
+        )
+    in_port = data_inputs[0]
+    (out_port,) = consumer.outputs.keys()
+    dest_edges = app.edges_from(consumer.name, out_port)
+    if len(dest_edges) != 1:
+        raise TransformError(
+            f"consumer {consumer.name!r} must feed exactly one destination"
+        )
+    dest = dest_edges[0]
+    out_window = consumer.output_spec(out_port).window
+    if out_window != Size2D(1, 1):
+        raise TransformError("reuse optimization supports 1x1 outputs")
+
+    parts = tuple(_plan_columns(buffer, degree))
+    n_rows = iteration_grid(
+        Size2D(buffer.region_w, buffer.region_h),
+        Size2D(buffer.window_w, buffer.window_h),
+        Step2D(buffer.step_x, buffer.step_y),
+    ).h
+
+    in_edge = app.edge_into(buffer_name, "in")
+    assert in_edge is not None
+
+    split = ColumnSplit(
+        app.fresh_name(f"split_{buffer_name}"),
+        region_w=buffer.region_w,
+        region_h=buffer.region_h,
+        ranges=[r for r, _ in parts],
+    )
+    app.add_kernel(split)
+    join = CountedJoin(
+        app.fresh_name(f"join_{consumer.name}"),
+        [c for _, c in parts],
+        1, 1,
+    )
+    app.add_kernel(join)
+
+    branch_buffers = []
+    instances = []
+    output_buffers = []
+    for i, ((lo, hi), count) in enumerate(parts):
+        part = BufferKernel(
+            app.fresh_name(f"{buffer_name}_{i}"),
+            region_w=hi - lo + 1,
+            region_h=buffer.region_h,
+            window_w=buffer.window_w,
+            window_h=buffer.window_h,
+            step_x=buffer.step_x,
+            step_y=buffer.step_y,
+        )
+        app.add_kernel(part)
+        branch_buffers.append(part.name)
+
+        clone = consumer.clone(app.fresh_name(f"{consumer.name}_{i}"))
+        clone.sequential_input_reuse = True
+        app.add_kernel(clone)
+        instances.append(clone.name)
+
+        app.connect(split.name, f"out_{i}", part.name, "in")
+        app.connect(part.name, "out", clone.name, in_port)
+
+        if with_output_buffers:
+            ob = BufferKernel(
+                app.fresh_name(f"outbuf_{consumer.name}_{i}"),
+                region_w=count,
+                region_h=n_rows,
+                window_w=1,
+                window_h=1,
+            )
+            app.add_kernel(ob)
+            output_buffers.append(ob.name)
+            app.connect(clone.name, out_port, ob.name, "in")
+            app.connect(ob.name, "out", join.name, f"in_{i}")
+        else:
+            app.connect(clone.name, out_port, join.name, f"in_{i}")
+
+    # Re-wire the boundary edges and drop the originals.
+    app.remove_edge(in_edge)
+    app.connect(in_edge.src, in_edge.src_port, split.name, "in")
+    app.remove_edge(dest)
+    app.connect(join.name, "out", dest.dst, dest.dst_port)
+    # Replicated control inputs of the consumer (coefficients) fan out to
+    # every instance via the existing source.
+    for port, spec in consumer.inputs.items():
+        if port == in_port:
+            continue
+        edge = app.edge_into(consumer.name, port)
+        if edge is None:
+            continue
+        app.remove_edge(edge)
+        for inst in instances:
+            # Constant sources accept fan-out directly.
+            app.connect(edge.src, edge.src_port, inst, port)
+    app.remove_kernel(consumer.name)
+    app.remove_kernel(buffer_name)
+
+    return ReusePlan(
+        buffer=buffer_name,
+        consumer=consumer.name,
+        degree=degree,
+        parts=parts,
+        split=split.name,
+        join=join.name,
+        branch_buffers=tuple(branch_buffers),
+        consumer_instances=tuple(instances),
+        output_buffers=tuple(output_buffers),
+    )

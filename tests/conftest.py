@@ -1,0 +1,6 @@
+"""Make the tests directory importable (shared helpers module)."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

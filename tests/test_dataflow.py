@@ -1,0 +1,196 @@
+"""Tests for the iteration size/rate dataflow analysis (Section III-A)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_dataflow, analyze_resources
+from repro.apps import build_image_pipeline
+from repro.errors import AnalysisError, RateError
+from repro.geometry import Inset, Size2D
+from repro.graph import ApplicationGraph
+from repro.kernels import (
+    ApplicationOutput,
+    BufferKernel,
+    ConvolutionKernel,
+    IdentityKernel,
+    InitialValueKernel,
+    MedianKernel,
+)
+from repro.machine import ProcessorSpec
+from repro.tokens import EndOfFrame, EndOfLine
+
+from helpers import BIG_PROC, single_kernel_app
+
+
+def conv_app(width=100, height=100, rate=50.0):
+    k = ConvolutionKernel("conv", 5, 5, with_coeff_input=False,
+                          coeff=np.ones((5, 5)))
+    app = ApplicationGraph("conv_app")
+    app.add_input("Input", width, height, rate)
+    app.add_kernel(
+        BufferKernel("buf", region_w=width, region_h=height,
+                     window_w=5, window_h=5)
+    )
+    app.add_kernel(k)
+    app.add_kernel(ApplicationOutput("Out", 1, 1))
+    app.connect("Input", "out", "buf", "in")
+    app.connect("buf", "out", "conv", "in")
+    app.connect("conv", "out", "Out", "in")
+    return app
+
+
+class TestIterationAnalysis:
+    def test_paper_example(self):
+        """100x100 at 50Hz through 5x5 conv: 96x96 iterations at 50Hz."""
+        df = analyze_dataflow(conv_app())
+        conv_out = df.flow("conv").outputs["out"]
+        assert conv_out.extent == Size2D(96, 96)
+        assert conv_out.rate_hz == 50.0
+        assert df.flow("conv").firings_per_second["run_convolve"] == 96 * 96 * 50
+
+    def test_input_stream_shape(self):
+        df = analyze_dataflow(conv_app())
+        s = df.flow("Input").outputs["out"]
+        assert s.extent == Size2D(100, 100)
+        assert s.chunk == Size2D(1, 1)
+        assert s.chunks_per_frame == 10_000
+        assert s.token_rate(EndOfLine) == 100
+        assert s.token_rate(EndOfFrame) == 1
+
+    def test_buffer_transparent_to_region(self):
+        df = analyze_dataflow(conv_app())
+        buf_out = df.flow("buf").outputs["out"]
+        assert buf_out.extent == Size2D(100, 100)
+        assert buf_out.chunk == Size2D(5, 5)
+        assert buf_out.windows_precut
+        assert buf_out.chunks_per_frame == 96 * 96
+
+    def test_inset_propagates_offset(self):
+        df = analyze_dataflow(conv_app())
+        assert df.flow("conv").outputs["out"].inset == Inset(2, 2)
+
+    def test_stream_into(self):
+        app = conv_app()
+        df = analyze_dataflow(app)
+        s = df.stream_into("conv", "in")
+        assert s.chunk == Size2D(5, 5)
+
+    def test_unconnected_input_raises(self):
+        app = conv_app()
+        edge = app.edge_into("conv", "in")
+        app.remove_edge(edge)
+        with pytest.raises(AnalysisError):
+            analyze_dataflow(app)
+
+    def test_describe_lists_rates(self):
+        text = analyze_dataflow(conv_app()).describe()
+        assert "conv" in text and "firings/s" in text
+
+
+class TestRateMismatch:
+    def test_mismatched_grids_raise(self):
+        """Misaligned multi-input kernels fail the strict analysis."""
+        app = build_image_pipeline(24, 16, 100.0)  # not aligned yet
+        with pytest.raises(RateError):
+            analyze_dataflow(app)
+
+
+class TestFeedbackAnalysis:
+    def feedback_app(self):
+        """Input -> Add(in0=x, in1=feedback) -> Out, loop through init."""
+        from repro.kernels import AddKernel, ScaleKernel
+
+        app = ApplicationGraph("fb")
+        app.add_input("Input", 4, 4, 100.0)
+        app.add_kernel(AddKernel("acc"))
+        app.add_kernel(ScaleKernel("decay", gain=0.5))
+        app.add_kernel(
+            InitialValueKernel(
+                "loop", np.zeros((1, 1)), region_w=4, region_h=4,
+                rate_hz=100.0,
+            )
+        )
+        app.add_kernel(ApplicationOutput("Out", 1, 1))
+        app.connect("Input", "out", "acc", "in0")
+        app.connect("loop", "out", "decay", "in")
+        app.connect("decay", "out", "acc", "in1")
+        app.connect("acc", "out", "loop", "in")
+        app.connect("acc", "out", "Out", "in")
+        return app
+
+    def test_topological_order_breaks_cycle(self):
+        order = self.feedback_app().topological_order()
+        assert order.index("loop") < order.index("decay")
+
+    def test_dataflow_converges_on_loop(self):
+        df = analyze_dataflow(self.feedback_app())
+        acc_out = df.flow("acc").outputs["out"]
+        assert acc_out.extent == Size2D(4, 4)
+        assert acc_out.rate_hz == 100.0
+        loop_out = df.flow("loop").outputs["out"]
+        assert loop_out.extent == Size2D(4, 4)
+
+    def test_loop_without_feedback_kernel_rejected(self):
+        from repro.kernels import AddKernel, ScaleKernel
+
+        app = ApplicationGraph("bad")
+        app.add_input("Input", 4, 4, 100.0)
+        app.add_kernel(AddKernel("acc"))
+        app.add_kernel(ScaleKernel("decay", gain=0.5))
+        app.add_kernel(ApplicationOutput("Out", 1, 1))
+        app.connect("Input", "out", "acc", "in0")
+        app.connect("acc", "out", "decay", "in")
+        app.connect("decay", "out", "acc", "in1")
+        app.connect("acc", "out", "Out", "in")
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError):
+            analyze_dataflow(app)
+
+
+class TestResources:
+    def test_conv_requirements(self):
+        app = conv_app(24, 16, 100.0)
+        proc = ProcessorSpec(clock_hz=20e6, memory_words=512)
+        res = analyze_resources(app, proc)
+        conv = res.resources("conv")
+        firings = (24 - 4) * (16 - 4) * 100.0
+        assert conv.compute_cps == pytest.approx(firings * (10 + 3 * 25))
+        # reads 25 elements per firing, writes 1
+        assert conv.read_eps == pytest.approx(firings * 25)
+        assert conv.write_eps == pytest.approx(firings * 1)
+        assert conv.degree_cpu >= 1
+
+    def test_degree_scales_with_rate(self):
+        proc = ProcessorSpec(clock_hz=20e6, memory_words=4096)
+        slow = analyze_resources(conv_app(24, 16, 100.0), proc)
+        fast = analyze_resources(conv_app(24, 16, 2000.0), proc)
+        assert (
+            fast.resources("conv").degree_cpu
+            > slow.resources("conv").degree_cpu
+        )
+
+    def test_buffer_memory_degree(self):
+        app = conv_app(96, 16, 10.0)  # 96 x 10 rows = 960 words
+        proc = ProcessorSpec(clock_hz=1e9, memory_words=400)
+        res = analyze_resources(app, proc)
+        assert res.resources("buf").degree_mem >= 2
+
+    def test_nonsplittable_memory_overflow_raises(self):
+        from repro.errors import ParallelizationError
+
+        app = conv_app(24, 16, 10.0)
+        # conv holds 2*25 in-port + 2 out-port words > 32-word memory
+        proc = ProcessorSpec(clock_hz=1e9, memory_words=32)
+        with pytest.raises(ParallelizationError):
+            analyze_resources(app, proc)
+
+    def test_utilization_target_validated(self):
+        from repro.errors import ParallelizationError
+
+        with pytest.raises(ParallelizationError):
+            analyze_resources(conv_app(), BIG_PROC, utilization_target=0.0)
+
+    def test_describe(self):
+        text = analyze_resources(conv_app(), BIG_PROC).describe()
+        assert "conv" in text and "degree" in text

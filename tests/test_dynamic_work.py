@@ -1,0 +1,145 @@
+"""Tests for variable-work kernels and runtime budget exceptions (Sec VII)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FiringError, ResourceError
+from repro.graph import ApplicationGraph, Kernel, MethodCost
+from repro.kernels import ApplicationOutput, BlockMatchKernel, VariableWorkKernel
+from repro.machine import ProcessorSpec
+from repro.sim import SimulationOptions, simulate
+from repro.transform import CompileOptions, compile_application
+
+from helpers import BIG_PROC
+
+PROC = ProcessorSpec(clock_hz=20e6, memory_words=512)
+
+
+class FixedExtra(VariableWorkKernel):
+    """Charges a constant data-dependent cost — easy to reason about."""
+
+    def __init__(self, name, actual_cycles, bound_cycles):
+        self._actual = actual_cycles
+        super().__init__(name, 3, 3, bound_cycles=bound_cycles)
+
+    def work(self, window):
+        return float(window.mean()), self._actual
+
+
+def search_app(kernel, width=16, height=12, rate=100.0, pattern=None):
+    app = ApplicationGraph("dyn")
+    src = app.add_input("Input", width, height, rate)
+    if pattern is not None:
+        src._pattern = pattern
+    app.add_kernel(kernel)
+    app.add_kernel(ApplicationOutput("Out", 1, 1))
+    app.connect("Input", "out", kernel.name, "in")
+    app.connect(kernel.name, "out", "Out", "in")
+    return app
+
+
+class TestChargeCycles:
+    def test_charge_outside_firing_raises(self):
+        k = FixedExtra("f", 10, 100)
+        with pytest.raises(FiringError):
+            k.charge_cycles(5)
+
+    def test_negative_charge_rejected(self):
+        from repro.graph.kernel import FiringContext
+
+        k = FixedExtra("f", 10, 100)
+        k.bind_context(FiringContext(method=k.methods["run"],
+                                     inputs={"in": np.zeros((3, 3))}))
+        with pytest.raises(FiringError):
+            k.charge_cycles(-1)
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(ResourceError):
+            FixedExtra("f", 10, 0)
+
+
+class TestBudgetExceptions:
+    def test_within_budget_no_overruns(self):
+        app = search_app(FixedExtra("v", actual_cycles=50, bound_cycles=100))
+        compiled = compile_application(app, PROC)
+        res = simulate(compiled, SimulationOptions(frames=2))
+        assert res.budget_overruns == []
+        v = res.verdict("Out", rate_hz=100.0, chunks_per_frame=14 * 10)
+        assert v.meets
+
+    def test_overruns_recorded(self):
+        app = search_app(FixedExtra("v", actual_cycles=300, bound_cycles=100))
+        compiled = compile_application(app, PROC)
+        res = simulate(compiled, SimulationOptions(frames=2))
+        assert res.budget_overruns
+        first = res.budget_overruns[0]
+        assert first.kernel.startswith("v")
+        assert first.declared_cycles == 100
+        assert first.actual_cycles == 300
+        assert first.factor == pytest.approx(3.0)
+
+    def test_persistent_overrun_breaks_realtime(self):
+        """An undersized bound makes the plan wrong: the compiler sized
+        parallelism for 100 cycles but the kernel takes 1200."""
+        app = search_app(FixedExtra("v", actual_cycles=1200,
+                                    bound_cycles=100), rate=400.0)
+        compiled = compile_application(app, PROC)
+        res = simulate(compiled, SimulationOptions(frames=3))
+        assert res.budget_overruns
+        v = res.verdict("Out", rate_hz=400.0, chunks_per_frame=14 * 10)
+        assert not v.meets
+
+    def test_actuals_charged_not_declared(self):
+        """Busy time reflects the charged cycles, not the static bound."""
+        cheap = search_app(FixedExtra("v", actual_cycles=20,
+                                      bound_cycles=1000))
+        costly = search_app(FixedExtra("v", actual_cycles=900,
+                                       bound_cycles=1000))
+        r_cheap = simulate(compile_application(cheap, PROC),
+                           SimulationOptions(frames=1))
+        r_costly = simulate(compile_application(costly, PROC),
+                            SimulationOptions(frames=1))
+        assert (r_costly.utilization.total_busy_s
+                > r_cheap.utilization.total_busy_s * 2)
+
+
+class TestBlockMatch:
+    def test_smooth_frames_cheap_busy_frames_costly(self):
+        smooth = np.ones((12, 16))
+        rng = np.random.default_rng(5)
+        busy = rng.uniform(0, 255, (12, 16))
+        costs = {}
+        for label, frame in (("smooth", smooth), ("busy", busy)):
+            k = BlockMatchKernel("bm", 5, 5, threshold=4.0)
+            app = search_app(k, pattern=frame)
+            compiled = compile_application(app, PROC)
+            res = simulate(compiled, SimulationOptions(frames=1))
+            costs[label] = res.utilization.total_busy_s
+        assert costs["busy"] > costs["smooth"]
+
+    def test_underdeclared_bound_raises_exceptions(self):
+        rng = np.random.default_rng(5)
+        busy = rng.uniform(0, 255, (12, 16))
+        k = BlockMatchKernel("bm", 5, 5, threshold=4.0, bound_candidates=1)
+        app = search_app(k, pattern=busy)
+        compiled = compile_application(app, PROC)
+        res = simulate(compiled, SimulationOptions(frames=1))
+        assert res.budget_overruns  # search scanned past the 1-candidate bound
+
+    def test_smooth_within_bound(self):
+        k = BlockMatchKernel("bm", 5, 5, threshold=4.0)
+        app = search_app(k, pattern=np.ones((12, 16)))
+        compiled = compile_application(app, PROC)
+        res = simulate(compiled, SimulationOptions(frames=1))
+        assert res.budget_overruns == []
+
+    def test_match_offsets_returned(self):
+        """On a constant frame every column matches immediately."""
+        from repro.sim import run_functional
+
+        k = BlockMatchKernel("bm", 5, 5, threshold=4.0)
+        app = search_app(k, pattern=np.ones((12, 16)))
+        compiled = compile_application(app, BIG_PROC)
+        res = run_functional(compiled.graph, frames=1)
+        vals = {float(c[0, 0]) for c in res.output("Out")}
+        assert vals == {-2.0}  # the first candidate column matched

@@ -1,0 +1,165 @@
+"""Remaining error and edge paths across modules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError, GraphError, PortError
+from repro.geometry import Inset, Region, Size2D
+from repro.graph import ApplicationGraph
+from repro.kernels import (
+    ApplicationOutput,
+    BufferKernel,
+    ColumnSplit,
+    ConstantSource,
+    CountedJoin,
+    IdentityKernel,
+    InsetKernel,
+    PadKernel,
+    ReplicateKernel,
+    RoundRobinSplit,
+)
+from repro.streams import StreamInfo
+
+
+def stream(w, h, chunk=(1, 1), rate=100.0):
+    cw, ch = chunk
+    return StreamInfo(
+        region=Region(Size2D(w, h), Inset(0, 0)),
+        chunk=Size2D(cw, ch),
+        rate_hz=rate,
+        chunks_per_frame=(w // cw) * (h // ch),
+    )
+
+
+class TestBufferValidation:
+    def test_window_exceeds_region(self):
+        with pytest.raises(PortError):
+            BufferKernel("b", region_w=4, region_h=4, window_w=5, window_h=5)
+
+    def test_multirow_chunks_must_span_region(self):
+        with pytest.raises(PortError):
+            BufferKernel("b", region_w=8, region_h=8, window_w=3,
+                         window_h=3, in_chunk_w=4, in_chunk_h=2)
+
+    def test_chunks_must_tile_region(self):
+        with pytest.raises(PortError):
+            BufferKernel("b", region_w=7, region_h=4, window_w=3,
+                         window_h=3, in_chunk_w=2, in_chunk_h=1)
+
+    def test_transfer_region_mismatch(self):
+        buf = BufferKernel("b", region_w=8, region_h=8, window_w=3,
+                           window_h=3)
+        with pytest.raises(AnalysisError):
+            buf.transfer({"in": stream(10, 8)})
+
+
+class TestSplitJoinValidation:
+    def test_split_needs_two_ways(self):
+        with pytest.raises(GraphError):
+            RoundRobinSplit("s", 1)
+
+    def test_replicate_needs_two_ways(self):
+        with pytest.raises(GraphError):
+            ReplicateKernel("r", 1, 1, 1)
+
+    def test_counted_join_counts_positive(self):
+        with pytest.raises(GraphError):
+            CountedJoin("j", [1, 0])
+
+    def test_column_split_range_bounds(self):
+        with pytest.raises(GraphError):
+            ColumnSplit("c", region_w=8, region_h=4, ranges=[(0, 3), (5, 9)])
+
+    def test_column_split_must_cover_region(self):
+        with pytest.raises(GraphError):
+            ColumnSplit("c", region_w=8, region_h=4, ranges=[(0, 3), (4, 6)])
+
+    def test_column_split_gap_rejected(self):
+        with pytest.raises(GraphError):
+            ColumnSplit("c", region_w=8, region_h=4, ranges=[(0, 2), (4, 7)])
+
+    def test_column_split_rejects_window_chunks(self):
+        cs = ColumnSplit("c", region_w=8, region_h=4, ranges=[(0, 4), (3, 7)])
+        with pytest.raises(AnalysisError):
+            cs.transfer({"in": stream(8, 4, chunk=(2, 2))})
+
+    def test_join_mixed_rates_rejected(self):
+        jn = CountedJoin("j", [1, 1])
+        with pytest.raises(AnalysisError):
+            jn.transfer({"in_0": stream(4, 4, rate=100.0),
+                         "in_1": stream(4, 4, rate=50.0)})
+
+
+class TestInsetPadValidation:
+    def test_inset_negative_trim(self):
+        with pytest.raises(GraphError):
+            InsetKernel("i", region_w=8, region_h=8, trim=(-1, 0, 0, 0))
+
+    def test_inset_consuming_whole_region(self):
+        with pytest.raises(GraphError):
+            InsetKernel("i", region_w=4, region_h=4, trim=(2, 0, 2, 0))
+
+    def test_pad_noop_rejected(self):
+        with pytest.raises(GraphError):
+            PadKernel("p", region_w=4, region_h=4, pad=(0, 0, 0, 0))
+
+    def test_inset_transfer_region_mismatch(self):
+        ins = InsetKernel("i", region_w=8, region_h=8, trim=(1, 1, 1, 1))
+        with pytest.raises(AnalysisError):
+            ins.transfer({"in": stream(9, 8)})
+
+    def test_pad_transfer_chunk_mismatch(self):
+        pad = PadKernel("p", region_w=8, region_h=8, pad=(1, 1, 1, 1))
+        with pytest.raises(AnalysisError):
+            pad.transfer({"in": stream(8, 8, chunk=(2, 2))})
+
+
+class TestSourceValidation:
+    def test_negative_rate_rejected(self):
+        app = ApplicationGraph("t")
+        with pytest.raises(GraphError):
+            app.add_input("Input", 4, 4, 0.0)
+
+    def test_constant_source_needs_2d(self):
+        # atleast_2d makes 1-D legal; 3-D must fail.
+        with pytest.raises(GraphError):
+            ConstantSource("c", np.zeros((2, 2, 2)))
+
+    def test_constant_source_1d_promoted(self):
+        src = ConstantSource("c", np.arange(4.0))
+        assert src.values.shape == (1, 4)
+
+
+class TestGraphEdgeCases:
+    def test_remove_missing_edge(self):
+        from repro.graph.edges import StreamEdge
+
+        app = ApplicationGraph("t")
+        with pytest.raises(GraphError):
+            app.remove_edge(StreamEdge("a", "out", "b", "in"))
+
+    def test_rename_to_existing_rejected(self):
+        app = ApplicationGraph("t")
+        app.add_kernel(IdentityKernel("a"))
+        app.add_kernel(IdentityKernel("b"))
+        with pytest.raises(GraphError):
+            app.rename_kernel("a", "b")
+
+    def test_self_dependency_rejected_by_validation(self):
+        from repro.analysis import validate_application
+
+        app = ApplicationGraph("t")
+        app.add_input("Input", 4, 4, 10.0)
+        app.add_kernel(IdentityKernel("a"))
+        app.add_kernel(ApplicationOutput("Out", 1, 1))
+        app.connect("Input", "out", "a", "in")
+        app.connect("a", "out", "Out", "in")
+        app.add_dependency("a", "a")
+        with pytest.raises(GraphError):
+            validate_application(app)
+
+    def test_dependency_on_unknown_kernel(self):
+        app = ApplicationGraph("t")
+        app.add_kernel(IdentityKernel("a"))
+        with pytest.raises(GraphError):
+            app.add_dependency("a", "ghost")

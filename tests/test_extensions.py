@@ -1,0 +1,223 @@
+"""Tests for the paper's designed-but-unevaluated extensions:
+
+* simulated-annealing placement (Section IV-D);
+* reuse-optimized buffer replication (Figure 9);
+* feedback loops with initial values (Section III-D).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_dataflow, validate_physical
+from repro.apps import build_image_pipeline
+from repro.errors import PlacementError, TransformError
+from repro.graph import ApplicationGraph
+from repro.kernels import (
+    AddKernel,
+    ApplicationOutput,
+    ConvolutionKernel,
+    InitialValueKernel,
+    ScaleKernel,
+)
+from repro.machine import ManyCoreChip, ProcessorSpec, Tile
+from repro.machine.placement import anneal_placement, traffic_matrix
+from repro.sim import SimulationOptions, Simulator, run_functional, simulate
+from repro.transform import CompileOptions, compile_application, insert_buffers
+from repro.transform.multiplex import map_one_to_one
+from repro.transform.reuse import (
+    minimum_output_buffer_words,
+    reuse_optimize_buffer,
+)
+
+from helpers import BIG_PROC, SMALL_PROC
+
+
+class TestPlacement:
+    def compiled(self):
+        return compile_application(
+            build_image_pipeline(24, 16, 1000.0), SMALL_PROC
+        )
+
+    def test_traffic_matrix_interprocessor_only(self):
+        c = self.compiled()
+        traffic = traffic_matrix(c.mapping, c.dataflow)
+        assert traffic
+        for (a, b), rate in traffic.items():
+            assert a < b
+            assert rate > 0
+
+    def test_annealing_reduces_energy(self):
+        c = self.compiled()
+        chip = ManyCoreChip(cols=6, rows=6, processor=SMALL_PROC)
+        placement = anneal_placement(
+            c.mapping, c.dataflow, chip, seed=1, iterations=5000
+        )
+        assert placement.energy <= placement.initial_energy
+        assert placement.improvement >= 1.0
+
+    def test_deterministic_given_seed(self):
+        c = self.compiled()
+        chip = ManyCoreChip(cols=6, rows=6, processor=SMALL_PROC)
+        a = anneal_placement(c.mapping, c.dataflow, chip, seed=7,
+                             iterations=2000)
+        b = anneal_placement(c.mapping, c.dataflow, chip, seed=7,
+                             iterations=2000)
+        assert a.tiles == b.tiles and a.energy == b.energy
+
+    def test_all_processors_distinct_tiles(self):
+        c = self.compiled()
+        chip = ManyCoreChip(cols=8, rows=8, processor=SMALL_PROC)
+        placement = anneal_placement(c.mapping, c.dataflow, chip, seed=0,
+                                     iterations=3000)
+        tiles = list(placement.tiles.values())
+        assert len(set(tiles)) == len(tiles)
+
+    def test_chip_too_small_rejected(self):
+        c = self.compiled()
+        chip = ManyCoreChip(cols=1, rows=2, processor=SMALL_PROC)
+        with pytest.raises(PlacementError):
+            anneal_placement(c.mapping, c.dataflow, chip)
+
+    def test_tile_distance(self):
+        assert Tile(0, 0).distance(Tile(3, 4)) == 7
+
+
+def conv_app(frame):
+    app = ApplicationGraph("reuse")
+    src = app.add_input("Input", frame.shape[1], frame.shape[0], 100.0)
+    src._pattern = frame
+    app.add_kernel(
+        ConvolutionKernel("conv", 5, 5, with_coeff_input=False,
+                          coeff=np.ones((5, 5)) / 25.0)
+    )
+    app.add_kernel(ApplicationOutput("Out", 1, 1))
+    app.connect("Input", "out", "conv", "in")
+    app.connect("conv", "out", "Out", "in")
+    return app
+
+
+FRAME = np.arange(24.0 * 16).reshape(16, 24)
+
+
+class TestReuseOptimization:
+    def optimized(self, with_output_buffers=True):
+        app = conv_app(FRAME)
+        insert_buffers(app)
+        plan = reuse_optimize_buffer(
+            app, "buf_conv.in", 2, with_output_buffers=with_output_buffers
+        )
+        return app, plan
+
+    def test_structure(self):
+        app, plan = self.optimized()
+        assert len(plan.consumer_instances) == 2
+        assert len(plan.branch_buffers) == 2
+        assert len(plan.output_buffers) == 2
+        validate_physical(app, analyze_dataflow(app))
+
+    def test_functional_identity(self):
+        import scipy.signal as sig
+
+        app, _ = self.optimized()
+        res = run_functional(app, frames=1)
+        got = res.output_frame("Out", 0, 20, 12)
+        want = sig.convolve2d(FRAME, np.ones((5, 5)) / 25.0, mode="valid")
+        np.testing.assert_allclose(got, want)
+
+    def test_reads_reduced(self):
+        """The whole point: fresh-column reads instead of full windows."""
+        proc = ProcessorSpec(clock_hz=20e6, memory_words=512)
+        base = conv_app(FRAME)
+        cb = compile_application(base, proc, CompileOptions(mapping="1:1"))
+        rb = simulate(cb, SimulationOptions(frames=3))
+
+        app, _ = self.optimized()
+        ro = Simulator(app, map_one_to_one(app), proc,
+                       SimulationOptions(frames=3)).run()
+        base_read = sum(p.read_s for p in rb.utilization.processors.values())
+        opt_read = sum(p.read_s for p in ro.utilization.processors.values())
+        assert opt_read < base_read  # 5 fresh vs 25 full elements per window
+
+    def test_still_meets_realtime(self):
+        proc = ProcessorSpec(clock_hz=20e6, memory_words=512)
+        app, _ = self.optimized()
+        res = Simulator(app, map_one_to_one(app), proc,
+                        SimulationOptions(frames=3)).run()
+        assert res.verdict("Out", rate_hz=100.0, chunks_per_frame=240).meets
+
+    def test_without_output_buffers_structure(self):
+        app, plan = self.optimized(with_output_buffers=False)
+        assert plan.output_buffers == ()
+        assert "WARNING" in plan.describe()
+
+    def test_minimum_output_buffer_words(self):
+        _, plan = self.optimized()
+        words = minimum_output_buffer_words(plan.parts)
+        assert words == [2 * count for _, count in plan.parts]
+
+    def test_rejects_non_buffer(self):
+        app = conv_app(FRAME)
+        with pytest.raises(TransformError):
+            reuse_optimize_buffer(app, "conv", 2)
+
+    def test_rejects_degree_one(self):
+        app = conv_app(FRAME)
+        insert_buffers(app)
+        with pytest.raises(TransformError):
+            reuse_optimize_buffer(app, "buf_conv.in", 1)
+
+
+class TestFeedback:
+    def smoothing_app(self, alpha=0.5, frames_w=4, frames_h=1):
+        """y[n] = x[n] + alpha * y[n-1], primed with y[-1] = 0."""
+        app = ApplicationGraph("iir")
+        src = app.add_input("Input", frames_w, frames_h, 100.0)
+        src._pattern = np.ones((frames_h, frames_w))
+        acc = app.add_kernel(AddKernel("acc"))
+        acc.mark_token_transparent("in1")  # the feedback input
+        app.add_kernel(ScaleKernel("decay", gain=alpha))
+        app.add_kernel(
+            InitialValueKernel("loop", np.zeros((1, 1)),
+                               region_w=frames_w, region_h=frames_h,
+                               rate_hz=100.0)
+        )
+        app.add_kernel(ApplicationOutput("Out", 1, 1))
+        app.connect("Input", "out", "acc", "in0")
+        app.connect("loop", "out", "decay", "in")
+        app.connect("decay", "out", "acc", "in1")
+        app.connect("acc", "out", "loop", "in")
+        app.connect("acc", "out", "Out", "in")
+        return app
+
+    def test_functional_recurrence(self):
+        app = self.smoothing_app(alpha=0.5)
+        res = run_functional(app, frames=1)
+        got = [float(c[0, 0]) for c in res.output("Out")]
+        # y = 1, 1.5, 1.75, 1.875 for x = 1,1,1,1 and alpha = 0.5
+        assert got == pytest.approx([1.0, 1.5, 1.75, 1.875])
+
+    def test_initial_value_respected(self):
+        app = ApplicationGraph("iir")
+        src = app.add_input("Input", 3, 1, 100.0)
+        src._pattern = np.zeros((1, 3))
+        acc = app.add_kernel(AddKernel("acc"))
+        acc.mark_token_transparent("in1")
+        app.add_kernel(
+            InitialValueKernel("loop", np.full((1, 1), 8.0),
+                               region_w=3, region_h=1, rate_hz=100.0)
+        )
+        app.add_kernel(ApplicationOutput("Out", 1, 1))
+        app.connect("Input", "out", "acc", "in0")
+        app.connect("loop", "out", "acc", "in1")
+        app.connect("acc", "out", "loop", "in")
+        app.connect("acc", "out", "Out", "in")
+        res = run_functional(app, frames=1)
+        got = [float(c[0, 0]) for c in res.output("Out")]
+        assert got == [8.0, 8.0, 8.0]  # zeros in, primed value circulates
+
+    def test_timed_simulation_of_loop(self):
+        app = self.smoothing_app()
+        compiled = compile_application(app, BIG_PROC,
+                                       CompileOptions(mapping="greedy"))
+        res = simulate(compiled, SimulationOptions(frames=2))
+        assert len(res.outputs["Out"]) == 8  # 4 elements x 2 frames

@@ -1,0 +1,215 @@
+"""Golden functional tests: kernel outputs vs numpy/scipy references.
+
+Each test compiles a tiny Input -> kernel -> Out application (the compiler
+inserts the needed buffers) and checks the reassembled output frame against
+an independent reference implementation.
+"""
+
+import numpy as np
+import pytest
+import scipy.ndimage as ndi
+import scipy.signal as sig
+
+from repro.kernels import (
+    AbsDiffKernel,
+    AddKernel,
+    BayerDemosaicKernel,
+    ConvolutionKernel,
+    DownsampleKernel,
+    GaussianKernel,
+    HistogramKernel,
+    IdentityKernel,
+    MedianKernel,
+    ScaleKernel,
+    SobelKernel,
+    SubtractKernel,
+    ThresholdKernel,
+)
+from repro.kernels.filters import _gaussian_coeff
+
+from helpers import run_compiled, single_kernel_app
+
+RNG = np.random.default_rng(42)
+
+
+class TestWindowedFilters:
+    def test_convolution_matches_scipy(self):
+        frame = RNG.uniform(0, 255, (10, 12))
+        coeff = RNG.uniform(-1, 1, (5, 5))
+        k = ConvolutionKernel("conv", 5, 5, with_coeff_input=False, coeff=coeff)
+        app = single_kernel_app(k, 12, 10, pattern=frame)
+        _, res = run_compiled(app)
+        got = res.output_frame("Out", 0, 12 - 4, 10 - 4)
+        want = sig.convolve2d(frame, coeff, mode="valid")
+        np.testing.assert_allclose(got, want, rtol=1e-12)
+
+    def test_median_matches_scipy(self):
+        frame = RNG.uniform(0, 255, (8, 9))
+        k = MedianKernel("med", 3, 3)
+        app = single_kernel_app(k, 9, 8, pattern=frame)
+        _, res = run_compiled(app)
+        got = res.output_frame("Out", 0, 7, 6)
+        # scipy's median_filter with a 3x3 footprint, valid region only.
+        want = ndi.median_filter(frame, size=3)[1:-1, 1:-1]
+        np.testing.assert_allclose(got, want)
+
+    def test_gaussian_is_normalized_convolution(self):
+        frame = np.full((7, 7), 3.0)
+        k = GaussianKernel("g", 3, 3, sigma=0.8)
+        app = single_kernel_app(k, 7, 7, pattern=frame)
+        _, res = run_compiled(app)
+        got = res.output_frame("Out", 0, 5, 5)
+        # A constant image through a normalized kernel is unchanged.
+        np.testing.assert_allclose(got, 3.0, rtol=1e-12)
+
+    def test_gaussian_coeff_normalized(self):
+        c = _gaussian_coeff(5, 5, 1.3)
+        assert c.shape == (5, 5)
+        assert c.sum() == pytest.approx(1.0)
+        assert c[2, 2] == c.max()
+
+    def test_sobel_detects_vertical_edge(self):
+        frame = np.zeros((6, 8))
+        frame[:, 4:] = 10.0
+        app = single_kernel_app(SobelKernel("sobel"), 8, 6, pattern=frame)
+        _, res = run_compiled(app)
+        got = res.output_frame("Out", 0, 6, 4)
+        # Columns crossing the edge respond; flat regions are zero.
+        assert got[:, 0].max() == 0.0
+        assert got[:, 2].min() > 0.0
+
+    def test_convolution_flips_kernel(self):
+        """The paper's loop indexes coeff[w-1-x][h-1-y]: true convolution."""
+        frame = np.zeros((5, 5))
+        frame[2, 2] = 1.0  # centred impulse: valid conv reproduces coeff
+        coeff = np.arange(9.0).reshape(3, 3)
+        k = ConvolutionKernel("c", 3, 3, with_coeff_input=False, coeff=coeff)
+        app = single_kernel_app(k, 5, 5, pattern=frame)
+        _, res = run_compiled(app)
+        got = res.output_frame("Out", 0, 3, 3)
+        want = sig.convolve2d(frame, coeff, mode="valid")
+        np.testing.assert_allclose(got, want)
+        np.testing.assert_allclose(got, coeff)  # true (flipped) convolution
+
+
+class TestElementwise:
+    def build_two_input(self, kernel, frame):
+        """Input fans out to both inputs of a binary kernel."""
+        from repro.graph import ApplicationGraph
+        from repro.kernels import ApplicationOutput
+
+        h, w = frame.shape
+        app = ApplicationGraph("two")
+        src = app.add_input("Input", w, h, 100.0)
+        src._pattern = frame
+        app.add_kernel(kernel)
+        app.add_kernel(ApplicationOutput("Out", 1, 1))
+        app.connect("Input", "out", kernel.name, "in0")
+        app.connect("Input", "out", kernel.name, "in1")
+        app.connect(kernel.name, "out", "Out", "in")
+        return app
+
+    def test_subtract_self_is_zero(self):
+        frame = RNG.uniform(0, 10, (4, 5))
+        app = self.build_two_input(SubtractKernel("sub"), frame)
+        _, res = run_compiled(app)
+        got = res.output_frame("Out", 0, 5, 4)
+        np.testing.assert_allclose(got, 0.0)
+
+    def test_add_self_doubles(self):
+        frame = RNG.uniform(0, 10, (4, 5))
+        app = self.build_two_input(AddKernel("add"), frame)
+        _, res = run_compiled(app)
+        np.testing.assert_allclose(res.output_frame("Out", 0, 5, 4), 2 * frame)
+
+    def test_absdiff_self_is_zero(self):
+        frame = RNG.uniform(-5, 5, (3, 3))
+        app = self.build_two_input(AbsDiffKernel("ad"), frame)
+        _, res = run_compiled(app)
+        np.testing.assert_allclose(res.output_frame("Out", 0, 3, 3), 0.0)
+
+    def test_scale(self):
+        frame = RNG.uniform(0, 10, (3, 4))
+        app = single_kernel_app(ScaleKernel("s", gain=2.0, bias=1.0), 4, 3,
+                                pattern=frame)
+        _, res = run_compiled(app)
+        np.testing.assert_allclose(
+            res.output_frame("Out", 0, 4, 3), 2.0 * frame + 1.0
+        )
+
+    def test_threshold(self):
+        frame = np.array([[1.0, 5.0], [6.0, 2.0]])
+        app = single_kernel_app(ThresholdKernel("t", level=5.0), 2, 2,
+                                pattern=frame)
+        _, res = run_compiled(app)
+        np.testing.assert_array_equal(
+            res.output_frame("Out", 0, 2, 2), np.array([[0, 1], [1, 0]])
+        )
+
+    def test_identity(self):
+        frame = RNG.uniform(0, 1, (3, 3))
+        app = single_kernel_app(IdentityKernel("i"), 3, 3, pattern=frame)
+        _, res = run_compiled(app)
+        np.testing.assert_allclose(res.output_frame("Out", 0, 3, 3), frame)
+
+
+class TestHistogramKernels:
+    def test_histogram_counts_match_numpy(self):
+        frame = RNG.uniform(0, 256, (6, 8))
+        k = HistogramKernel("h", 16, lo=0.0, hi=256.0, with_bins_input=False)
+        app = single_kernel_app(k, 8, 6, pattern=frame, out_w=16, out_h=1)
+        _, res = run_compiled(app)
+        got = res.output("Out")[0].ravel()
+        want, _ = np.histogram(frame, bins=16, range=(0.0, 256.0))
+        np.testing.assert_array_equal(got, want)
+
+    def test_histogram_resets_between_frames(self):
+        frame = np.full((4, 4), 10.0)
+        k = HistogramKernel("h", 4, lo=0.0, hi=64.0, with_bins_input=False)
+        app = single_kernel_app(k, 4, 4, pattern=frame, out_w=4, out_h=1)
+        _, res = run_compiled(app, frames=3)
+        outs = res.output("Out")
+        assert len(outs) == 3
+        for out in outs:
+            assert out.sum() == 16  # each frame counted independently
+
+    def test_out_of_range_values_clamp(self):
+        k = HistogramKernel("h", 4, lo=0.0, hi=4.0, with_bins_input=False)
+        assert k.find_bin(-100.0) == 0
+        assert k.find_bin(100.0) == 3
+
+    def test_downsample_box_average(self):
+        frame = RNG.uniform(0, 10, (6, 8))
+        app = single_kernel_app(DownsampleKernel("d", 2), 8, 6, pattern=frame)
+        _, res = run_compiled(app)
+        got = res.output_frame("Out", 0, 4, 3)
+        want = frame.reshape(3, 2, 4, 2).mean(axis=(1, 3))
+        np.testing.assert_allclose(got, want)
+
+
+class TestBayer:
+    def test_demosaic_quad_math(self):
+        frame = np.array(
+            [
+                [10.0, 20.0, 12.0, 22.0],
+                [30.0, 40.0, 32.0, 42.0],
+            ]
+        )
+        from repro.graph import ApplicationGraph
+        from repro.kernels import ApplicationOutput
+
+        app = ApplicationGraph("bayer")
+        src = app.add_input("Input", 4, 2, 100.0)
+        src._pattern = frame
+        app.add_kernel(BayerDemosaicKernel("dm"))
+        for c in "rgb":
+            app.add_kernel(ApplicationOutput(f"Out_{c}", 1, 1))
+            app.connect("dm", c, f"Out_{c}", "in")
+        app.connect("Input", "out", "dm", "in")
+        _, res = run_compiled(app)
+        r = [float(x[0, 0]) for x in res.output("Out_r")]
+        g = [float(x[0, 0]) for x in res.output("Out_g")]
+        b = [float(x[0, 0]) for x in res.output("Out_b")]
+        assert r == [10.0, 12.0]
+        assert g == [25.0, 27.0]  # (20+30)/2, (22+32)/2
+        assert b == [40.0, 42.0]

@@ -1,0 +1,100 @@
+"""Tests for the first-output (pipeline fill) latency analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import estimate_latency
+from repro.apps import build_bayer_app, build_image_pipeline, build_multi_conv_app
+from repro.graph import ApplicationGraph
+from repro.kernels import ApplicationOutput, ConvolutionKernel
+from repro.machine import ProcessorSpec
+from repro.sim import SimulationOptions, simulate
+from repro.transform import CompileOptions, compile_application
+
+PROC = ProcessorSpec(clock_hz=20e6, memory_words=512)
+
+
+def check(app, output, *, frames=2, slack_chunks=30):
+    """Estimate must lower-bound the simulated first output, tightly."""
+    compiled = compile_application(app, PROC)
+    est = estimate_latency(compiled.graph, compiled.dataflow)
+    res = simulate(compiled, SimulationOptions(frames=frames))
+    sim_first = res.output_times[output][0]
+    analytic = est.output_latency(output)
+    assert analytic <= sim_first + 1e-12, (analytic, sim_first)
+    # Tight: processing adds at most a few chunk periods on an unloaded
+    # pipeline.
+    spacing = est.streams[
+        (compiled.graph.edge_into(output, "in").src,
+         compiled.graph.edge_into(output, "in").src_port)
+    ].spacing_s
+    assert sim_first <= analytic + slack_chunks * max(spacing, 1e-9)
+    return analytic, sim_first
+
+
+class TestLatency:
+    def test_conv_pipeline_fill(self):
+        """A 5x5 buffer fills 4 rows + 5 elements before the first window."""
+        app = ApplicationGraph("lat")
+        app.add_input("Input", 24, 16, 100.0)
+        app.add_kernel(
+            ConvolutionKernel("conv", 5, 5, with_coeff_input=False,
+                              coeff=np.ones((5, 5)))
+        )
+        app.add_kernel(ApplicationOutput("Out", 1, 1))
+        app.connect("Input", "out", "conv", "in")
+        app.connect("conv", "out", "Out", "in")
+        compiled = compile_application(app, PROC)
+        est = estimate_latency(compiled.graph, compiled.dataflow)
+        element = 1.0 / (24 * 16 * 100.0)
+        expected = (4 * 24 + 4) * element
+        assert est.output_latency("Out") == pytest.approx(expected)
+
+    def test_estimate_bounds_simulation_conv(self):
+        app = ApplicationGraph("lat")
+        app.add_input("Input", 24, 16, 100.0)
+        app.add_kernel(
+            ConvolutionKernel("conv", 5, 5, with_coeff_input=False,
+                              coeff=np.ones((5, 5)))
+        )
+        app.add_kernel(ApplicationOutput("Out", 1, 1))
+        app.connect("Input", "out", "conv", "in")
+        app.connect("conv", "out", "Out", "in")
+        check(app, "Out")
+
+    def test_image_pipeline_waits_for_frame_end(self):
+        """The histogram output cannot exist before the frame finishes."""
+        app = build_image_pipeline(24, 16, 100.0)
+        analytic, sim_first = check(app, "result", slack_chunks=60)
+        # Dominated by the frame period (the end-of-frame trigger).
+        assert analytic >= 0.9 * (1.0 / 100.0)
+
+    def test_bayer_latency(self):
+        check(build_bayer_app(16, 8, 200.0), "Video")
+
+    def test_multi_conv_latency(self):
+        check(build_multi_conv_app(24, 16, 100.0), "Out", slack_chunks=60)
+
+    def test_deeper_windows_fill_longer(self):
+        def fill(window):
+            app = ApplicationGraph(f"lat{window}")
+            app.add_input("Input", 24, 16, 100.0)
+            app.add_kernel(
+                ConvolutionKernel(
+                    "conv", window, window, with_coeff_input=False,
+                    coeff=np.ones((window, window)),
+                )
+            )
+            app.add_kernel(ApplicationOutput("Out", 1, 1))
+            app.connect("Input", "out", "conv", "in")
+            app.connect("conv", "out", "Out", "in")
+            compiled = compile_application(app, PROC)
+            est = estimate_latency(compiled.graph, compiled.dataflow)
+            return est.output_latency("Out")
+
+        assert fill(3) < fill(5) < fill(7)
+
+    def test_describe(self):
+        compiled = compile_application(build_bayer_app(16, 8, 200.0), PROC)
+        est = estimate_latency(compiled.graph, compiled.dataflow)
+        assert "ms after start" in est.describe()

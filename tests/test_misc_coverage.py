@@ -1,0 +1,185 @@
+"""Coverage for cross-cutting paths: dual inputs, compiled-graph
+serialization, paper-exact labels, reports, and remaining kernel bodies."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compile_report
+from repro.apps import build_image_pipeline
+from repro.graph import ApplicationGraph, dumps, loads
+from repro.kernels import (
+    AbsDiffKernel,
+    ApplicationOutput,
+    BufferKernel,
+    ConvolutionKernel,
+    GaussianKernel,
+    MultiplyKernel,
+)
+from repro.machine import ProcessorSpec
+from repro.sim import SimulationOptions, run_functional, simulate
+from repro.transform import CompileOptions, compile_application
+
+from helpers import BIG_PROC, SMALL_PROC, run_compiled
+
+
+def stereo_app(width=12, height=8, rate=100.0):
+    """Two synchronized camera inputs, per-pixel absolute difference."""
+    app = ApplicationGraph("stereo")
+    left = app.add_input("Left", width, height, rate)
+    right = app.add_input("Right", width, height, rate)
+    base = np.arange(float(width * height)).reshape(height, width)
+    left._pattern = base
+    right._pattern = base + 3.0
+    app.add_kernel(AbsDiffKernel("Disparity"))
+    app.add_kernel(ApplicationOutput("Out", 1, 1))
+    app.connect("Left", "out", "Disparity", "in0")
+    app.connect("Right", "out", "Disparity", "in1")
+    app.connect("Disparity", "out", "Out", "in")
+    return app
+
+
+class TestDualInputs:
+    def test_functional(self):
+        _, res = run_compiled(stereo_app())
+        got = res.output_frame("Out", 0, 12, 8)
+        np.testing.assert_allclose(got, 3.0)
+
+    def test_timed_meets(self):
+        compiled = compile_application(stereo_app(), SMALL_PROC)
+        res = simulate(compiled, SimulationOptions(frames=3))
+        v = res.verdict("Out", rate_hz=100.0, chunks_per_frame=12 * 8)
+        assert v.meets
+
+    def test_mismatched_rates_rejected(self):
+        from repro.errors import RateError
+
+        app = ApplicationGraph("bad_stereo")
+        app.add_input("Left", 8, 8, 100.0)
+        app.add_input("Right", 8, 8, 50.0)  # different rate
+        app.add_kernel(AbsDiffKernel("d"))
+        app.add_kernel(ApplicationOutput("Out", 1, 1))
+        app.connect("Left", "out", "d", "in0")
+        app.connect("Right", "out", "d", "in1")
+        app.connect("d", "out", "Out", "in")
+        with pytest.raises(RateError):
+            compile_application(app, BIG_PROC)
+
+    def test_mismatched_extents_trimmed_to_intersection(self):
+        """Different-sized inputs align by origin: the wider one is
+        trimmed to the overlap (insets are origin-relative, so two
+        distinct inputs compare at their common upper-left corner)."""
+        from repro.kernels import InsetKernel
+
+        app = ApplicationGraph("stereo_sizes")
+        left = app.add_input("Left", 8, 8, 100.0)
+        right = app.add_input("Right", 10, 8, 100.0)
+        left._pattern = np.zeros((8, 8))
+        right._pattern = np.ones((8, 10))
+        app.add_kernel(AbsDiffKernel("d"))
+        app.add_kernel(ApplicationOutput("Out", 1, 1))
+        app.connect("Left", "out", "d", "in0")
+        app.connect("Right", "out", "d", "in1")
+        app.connect("d", "out", "Out", "in")
+        compiled = compile_application(app, BIG_PROC)
+        insets = [k for k in compiled.graph.iter_kernels()
+                  if isinstance(k, InsetKernel)]
+        assert len(insets) == 1
+        assert insets[0].trim == (0, 0, 2, 0)  # two right columns dropped
+        res = run_functional(compiled.graph, frames=1)
+        got = res.output_frame("Out", 0, 8, 8)
+        np.testing.assert_allclose(got, 1.0)
+
+
+class TestCompiledGraphSerialization:
+    def test_compiled_graph_round_trips(self):
+        """Compiler-inserted kernels capture their ctor args too."""
+        compiled = compile_application(
+            build_image_pipeline(24, 16, 1000.0), SMALL_PROC
+        )
+        text = dumps(compiled.graph)
+        clone = loads(text)
+        assert set(clone.kernels) == set(compiled.graph.kernels)
+        a = run_functional(compiled.graph, frames=1)
+        b = run_functional(clone, frames=1)
+        np.testing.assert_array_equal(a.output("result")[0],
+                                      b.output("result")[0])
+
+
+class TestPaperExactLabels:
+    def test_figure4_buffer_20x10(self):
+        """The paper's 'Buffer [20x10]' for a 5x5 on a 20-wide region."""
+        app = ApplicationGraph("w20")
+        app.add_input("Input", 20, 12, 50.0)
+        app.add_kernel(
+            ConvolutionKernel("conv", 5, 5, with_coeff_input=False,
+                              coeff=np.ones((5, 5)))
+        )
+        app.add_kernel(ApplicationOutput("Out", 1, 1))
+        app.connect("Input", "out", "conv", "in")
+        app.connect("conv", "out", "Out", "in")
+        compiled = compile_application(app, BIG_PROC)
+        buf = next(k for k in compiled.graph.iter_kernels()
+                   if isinstance(k, BufferKernel))
+        assert buf.storage_words == 200
+        assert "[20x10]" in buf.describe_parameterization()
+
+    def test_histogram_out_notation(self):
+        from repro.kernels import HistogramKernel
+
+        h = HistogramKernel("h", 32)
+        assert h.outputs["out"].describe() == "out (32x1)[32,1]"
+
+
+class TestReports:
+    def test_compile_report_sections(self):
+        compiled = compile_application(
+            build_image_pipeline(24, 16, 100.0), SMALL_PROC
+        )
+        text = compile_report(compiled)
+        for section in ("COMPILE REPORT", "## Summary", "## Streams",
+                        "## Resources", "## Parallelization",
+                        "## Kernel-to-processor mapping"):
+            assert section in text
+
+    def test_compile_report_without_streams(self):
+        compiled = compile_application(
+            build_image_pipeline(24, 16, 100.0), SMALL_PROC
+        )
+        text = compile_report(compiled, streams=False)
+        assert "## Streams" not in text
+
+
+class TestRemainingKernels:
+    def test_multiply(self):
+        app = ApplicationGraph("mul")
+        src = app.add_input("Input", 3, 2, 10.0)
+        src._pattern = np.full((2, 3), 4.0)
+        app.add_kernel(MultiplyKernel("m"))
+        app.add_kernel(ApplicationOutput("Out", 1, 1))
+        app.connect("Input", "out", "m", "in0")
+        app.connect("Input", "out", "m", "in1")
+        app.connect("m", "out", "Out", "in")
+        _, res = run_compiled(app)
+        np.testing.assert_allclose(res.output_frame("Out", 0, 3, 2), 16.0)
+
+    def test_output_frame_incomplete_raises(self):
+        from repro.errors import SimulationError
+
+        app = ApplicationGraph("short")
+        src = app.add_input("Input", 3, 2, 10.0)
+        app.add_kernel(GaussianKernel("g", 3, 3))  # window taller than frame?
+        # 3x3 window fits a 3x2 frame only in x; expect a compile error.
+        app.add_kernel(ApplicationOutput("Out", 1, 1))
+        app.connect("Input", "out", "g", "in")
+        app.connect("g", "out", "Out", "in")
+        from repro.errors import BlockParallelError
+
+        with pytest.raises(BlockParallelError):
+            compile_application(app, BIG_PROC)
+
+    def test_output_frame_wrong_count(self):
+        from repro.errors import SimulationError
+
+        _, res = run_compiled(stereo_app())
+        with pytest.raises(SimulationError):
+            res.output_frame("Out", 3, 12, 8)  # only one frame ran

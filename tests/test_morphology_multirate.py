@@ -1,0 +1,131 @@
+"""Tests for morphology kernels and multi-rate (downsampling) pipelines."""
+
+import numpy as np
+import pytest
+import scipy.ndimage as ndi
+
+from repro.analysis import analyze_dataflow
+from repro.geometry import Size2D
+from repro.graph import ApplicationGraph
+from repro.kernels import (
+    ApplicationOutput,
+    DilateKernel,
+    DownsampleKernel,
+    ErodeKernel,
+    add_closing,
+    add_opening,
+)
+
+from helpers import BIG_PROC, run_compiled, single_kernel_app
+
+RNG = np.random.default_rng(3)
+
+
+class TestMorphology:
+    def test_erode_matches_scipy(self):
+        frame = RNG.uniform(0, 255, (8, 10))
+        app = single_kernel_app(ErodeKernel("e", 3, 3), 10, 8, pattern=frame)
+        _, res = run_compiled(app)
+        got = res.output_frame("Out", 0, 8, 6)
+        want = ndi.minimum_filter(frame, size=3)[1:-1, 1:-1]
+        np.testing.assert_allclose(got, want)
+
+    def test_dilate_matches_scipy(self):
+        frame = RNG.uniform(0, 255, (8, 10))
+        app = single_kernel_app(DilateKernel("d", 3, 3), 10, 8, pattern=frame)
+        _, res = run_compiled(app)
+        got = res.output_frame("Out", 0, 8, 6)
+        want = ndi.maximum_filter(frame, size=3)[1:-1, 1:-1]
+        np.testing.assert_allclose(got, want)
+
+    def test_opening_removes_speck(self):
+        """A single bright pixel on a flat field disappears under opening."""
+        frame = np.full((9, 9), 10.0)
+        frame[4, 4] = 200.0
+        app = ApplicationGraph("open")
+        src = app.add_input("Input", 9, 9, 100.0)
+        src._pattern = frame
+        first, last = add_opening(app, "op", 3, 3)
+        app.add_kernel(ApplicationOutput("Out", 1, 1))
+        app.connect("Input", "out", first.name, "in")
+        app.connect(last.name, "out", "Out", "in")
+        _, res = run_compiled(app)
+        got = res.output_frame("Out", 0, 5, 5)
+        np.testing.assert_allclose(got, 10.0)
+
+    def test_closing_fills_pit(self):
+        frame = np.full((9, 9), 100.0)
+        frame[4, 4] = 1.0
+        app = ApplicationGraph("close")
+        src = app.add_input("Input", 9, 9, 100.0)
+        src._pattern = frame
+        first, last = add_closing(app, "cl", 3, 3)
+        app.add_kernel(ApplicationOutput("Out", 1, 1))
+        app.connect("Input", "out", first.name, "in")
+        app.connect(last.name, "out", "Out", "in")
+        _, res = run_compiled(app)
+        got = res.output_frame("Out", 0, 5, 5)
+        np.testing.assert_allclose(got, 100.0)
+
+    def test_two_stage_buffering(self):
+        """The compiler buffers each morphology stage independently."""
+        frame = np.zeros((9, 9))
+        app = ApplicationGraph("open")
+        src = app.add_input("Input", 9, 9, 100.0)
+        src._pattern = frame
+        first, last = add_opening(app, "op", 3, 3)
+        app.add_kernel(ApplicationOutput("Out", 1, 1))
+        app.connect("Input", "out", first.name, "in")
+        app.connect(last.name, "out", "Out", "in")
+        compiled, _ = run_compiled(app)
+        from repro.kernels import BufferKernel
+
+        buffers = [k for k in compiled.graph.iter_kernels()
+                   if isinstance(k, BufferKernel)]
+        assert len(buffers) == 2
+
+
+class TestMultirate:
+    def test_downsample_rate_drop_in_analysis(self):
+        app = single_kernel_app(DownsampleKernel("d", 2), 8, 8)
+        df = analyze_dataflow(app)
+        # 8x8 through 2x2 step 2 -> 16 firings per frame.
+        assert df.flow("d").firings_per_second["run"] == 16 * 100.0
+        assert df.flow("d").outputs["out"].extent == Size2D(4, 4)
+
+    def test_fractional_offset_propagates(self):
+        app = single_kernel_app(DownsampleKernel("d", 2), 8, 8)
+        df = analyze_dataflow(app)
+        inset = df.flow("d").outputs["out"].inset
+        from fractions import Fraction
+
+        assert inset.x == Fraction(1, 2)
+        assert inset.y == Fraction(1, 2)
+
+    def test_pyramid_functional(self):
+        """Smooth -> downsample -> erode pipeline end to end."""
+        from repro.kernels import GaussianKernel
+
+        frame = RNG.uniform(0, 255, (12, 16))
+        app = ApplicationGraph("pyr")
+        src = app.add_input("Input", 16, 12, 100.0)
+        src._pattern = frame
+        app.add_kernel(GaussianKernel("g", 3, 3))
+        app.add_kernel(DownsampleKernel("d", 2))
+        app.add_kernel(ErodeKernel("e", 3, 3))
+        app.add_kernel(ApplicationOutput("Out", 1, 1))
+        app.connect("Input", "out", "g", "in")
+        app.connect("g", "out", "d", "in")
+        app.connect("d", "out", "e", "in")
+        app.connect("e", "out", "Out", "in")
+        _, res = run_compiled(app)
+        # 16x12 -> g: 14x10 -> d: 7x5 -> e: 5x3
+        got = res.output_frame("Out", 0, 5, 3)
+        assert got.shape == (3, 5)
+        assert got.min() >= 0.0 and got.max() <= 255.0
+
+    def test_odd_extent_downsampling_truncates(self):
+        """A 9-wide region through 2x2 step 2 keeps 4 quads per row."""
+        app = single_kernel_app(DownsampleKernel("d", 2), 9, 6)
+        df = analyze_dataflow(app)
+        assert df.flow("d").outputs["out"].extent == Size2D(4, 3)

@@ -1,0 +1,279 @@
+"""Tests for the parallelization transform (Section IV, Figures 4 and 10)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_dataflow, analyze_resources, validate_physical
+from repro.apps import build_histogram_app, build_image_pipeline
+from repro.errors import ParallelizationError
+from repro.geometry import Size2D
+from repro.graph import ApplicationGraph
+from repro.kernels import (
+    ApplicationOutput,
+    BufferKernel,
+    ColumnSplit,
+    ConvolutionKernel,
+    CountedJoin,
+    HistogramKernel,
+    HistogramMergeKernel,
+    IdentityKernel,
+    ReplicateKernel,
+    RoundRobinJoin,
+    RoundRobinSplit,
+)
+from repro.machine import ProcessorSpec
+from repro.transform import (
+    CompileOptions,
+    compile_application,
+    compute_degrees,
+    parallelize_application,
+)
+from repro.transform.parallelize import _plan_columns
+
+from helpers import BIG_PROC, SMALL_PROC, run_compiled
+
+
+def fast_pipeline(rate=1000.0):
+    return build_image_pipeline(24, 16, rate)
+
+
+class TestDegrees:
+    def test_dependency_edge_caps_merge(self):
+        app = build_histogram_app(32, 24, 3000.0)
+        res = analyze_resources(app, SMALL_PROC)
+        degrees = compute_degrees(app, res)
+        # Input has degree 1; the dependency edge caps the merge at 1.
+        assert degrees["Merge"] == 1
+
+    def test_uncappable_requirement_raises(self):
+        """A serial kernel that cannot keep up is a compile error."""
+        from repro.graph import MethodCost, Kernel
+
+        class Slow(Kernel):
+            data_parallel = False
+
+            def configure(self):
+                self.add_input("in", 1, 1, 1, 1)
+                self.add_output("out", 1, 1)
+                self.add_method("run", inputs=["in"], outputs=["out"],
+                                cost=MethodCost(cycles=100_000))
+
+            def run(self):
+                self.write_output("out", self.read_input("in"))
+
+        app = ApplicationGraph("slow")
+        app.add_input("Input", 8, 8, 100.0)
+        app.add_kernel(Slow("snail"))
+        app.add_kernel(ApplicationOutput("Out", 1, 1))
+        app.connect("Input", "out", "snail", "in")
+        app.connect("snail", "out", "Out", "in")
+        app.add_dependency("Input", "snail")
+        proc = ProcessorSpec(clock_hz=20e6, memory_words=512)
+        with pytest.raises(ParallelizationError):
+            res = analyze_resources(app, proc)
+            compute_degrees(app, res)
+
+    def test_non_data_parallel_without_routine_raises(self):
+        from repro.graph import MethodCost, Kernel
+
+        class Stateful(Kernel):
+            data_parallel = False
+
+            def configure(self):
+                self.add_input("in", 1, 1, 1, 1)
+                self.add_output("out", 1, 1)
+                self.add_method("run", inputs=["in"], outputs=["out"],
+                                cost=MethodCost(cycles=10_000))
+
+            def run(self):
+                self.write_output("out", self.read_input("in"))
+
+        app = ApplicationGraph("stateful")
+        app.add_input("Input", 8, 8, 100.0)
+        app.add_kernel(Stateful("iir"))
+        app.add_kernel(ApplicationOutput("Out", 1, 1))
+        app.connect("Input", "out", "iir", "in")
+        app.connect("iir", "out", "Out", "in")
+        proc = ProcessorSpec(clock_hz=20e6, memory_words=512)
+        with pytest.raises(ParallelizationError):
+            parallelize_application(app, proc)
+
+
+class TestReplication:
+    def compiled_fast(self):
+        # 256 words per element: the 24x10 buffer must column-split too.
+        proc = ProcessorSpec(clock_hz=20e6, memory_words=256)
+        return compile_application(fast_pipeline(), proc)
+
+    def test_figure4_structure(self):
+        compiled = self.compiled_fast()
+        g = compiled.graph
+        kinds = {
+            RoundRobinSplit: 0, RoundRobinJoin: 0, ReplicateKernel: 0,
+            ColumnSplit: 0, CountedJoin: 0,
+        }
+        for k in g.iter_kernels():
+            if type(k) in kinds:
+                kinds[type(k)] += 1
+        # Conv and median replicated -> RR split+join; coeff replicated;
+        # the 5x5 buffer column-split -> ColumnSplit + CountedJoin.
+        assert kinds[RoundRobinSplit] >= 2
+        assert kinds[RoundRobinJoin] >= 2
+        assert kinds[ReplicateKernel] == 1
+        assert kinds[ColumnSplit] >= 1
+        assert kinds[CountedJoin] >= 1
+
+    def test_replicated_input_gets_replicate_kernel(self):
+        compiled = self.compiled_fast()
+        g = compiled.graph
+        rep = next(
+            k for k in g.iter_kernels() if isinstance(k, ReplicateKernel)
+        )
+        # Fed by the coefficient source, feeding every conv instance.
+        assert g.edge_into(rep.name, "in").src == "Coeff5x5"
+        dests = {e.dst for e in g.out_edges(rep.name)}
+        convs = {n for n in g.kernels if n.startswith("Conv5x5_")}
+        assert dests == convs
+
+    def test_clone_count_matches_degree(self):
+        compiled = self.compiled_fast()
+        degree = compiled.parallelization.degrees["Conv5x5"]
+        assert degree >= 2
+        instances = compiled.parallelization.groups["Conv5x5"]
+        assert len(instances) == degree
+        for name in instances:
+            assert name in compiled.graph
+
+    def test_compiled_graph_physical(self):
+        compiled = self.compiled_fast()
+        validate_physical(compiled.graph, compiled.dataflow)
+
+    def test_parallel_functional_equals_serial(self):
+        """Parallelization must not change computed results."""
+        app = build_image_pipeline(16, 12, 100.0, hist_lo=-512, hist_hi=512)
+        _, serial = run_compiled(app, proc=BIG_PROC)
+        fast = build_image_pipeline(16, 12, 2000.0, hist_lo=-512, hist_hi=512)
+        compiled, parallel = run_compiled(fast, proc=SMALL_PROC)
+        assert compiled.parallelization.degrees["Conv5x5"] >= 2
+        np.testing.assert_array_equal(
+            serial.output("result")[0], parallel.output("result")[0]
+        )
+
+
+class TestHistogramParallelization:
+    def test_partials_merge_correctly(self):
+        """Parallel histogram instances produce partials that sum right."""
+        app = build_histogram_app(32, 24, 2500.0)
+        compiled, res = run_compiled(app, proc=SMALL_PROC)
+        assert compiled.parallelization.degrees["Histogram"] >= 2
+        out = res.output("result")
+        assert len(out) == 1
+        assert out[0].sum() == 32 * 24
+
+    def test_merge_not_replicated(self):
+        app = build_histogram_app(32, 24, 2500.0)
+        compiled = compile_application(app, SMALL_PROC)
+        assert "Merge" in compiled.graph
+        assert compiled.parallelization.degrees["Merge"] == 1
+
+
+class TestBufferSplitting:
+    def test_plan_columns_overlap(self):
+        buf = BufferKernel("b", region_w=24, region_h=16, window_w=5,
+                           window_h=5)
+        parts = _plan_columns(buf, 2)
+        (r0, c0), (r1, c1) = parts
+        assert c0 + c1 == 24 - 4  # all 20 window positions covered
+        assert r0[0] == 0 and r1[1] == 23
+        # Figure 10: the two parts share window_w - step_x = 4 columns.
+        overlap = r0[1] - r1[0] + 1
+        assert overlap == 4
+
+    def test_plan_columns_too_many_ways(self):
+        buf = BufferKernel("b", region_w=8, region_h=8, window_w=5,
+                           window_h=5)
+        with pytest.raises(ParallelizationError):
+            _plan_columns(buf, 10)
+
+    def test_split_buffers_fit_memory(self):
+        proc = ProcessorSpec(clock_hz=1e9, memory_words=256)
+        app = build_image_pipeline(24, 16, 100.0)
+        compiled = compile_application(app, proc)
+        for k in compiled.graph.iter_kernels():
+            if isinstance(k, BufferKernel):
+                assert k.storage_words <= proc.memory_words
+
+    def test_split_buffer_functional_identity(self):
+        """Column-split buffering reproduces the unsplit stream exactly."""
+        frame = np.arange(24.0 * 16).reshape(16, 24)
+        coeff = np.ones((5, 5)) / 25.0
+
+        def build():
+            app = ApplicationGraph("bsplit")
+            src = app.add_input("Input", 24, 16, 100.0)
+            src._pattern = frame
+            app.add_kernel(ConvolutionKernel(
+                "conv", 5, 5, with_coeff_input=False, coeff=coeff))
+            app.add_kernel(ApplicationOutput("Out", 1, 1))
+            app.connect("Input", "out", "conv", "in")
+            app.connect("conv", "out", "Out", "in")
+            return app
+
+        _, big = run_compiled(build(), proc=BIG_PROC)
+        small_proc = ProcessorSpec(clock_hz=1e9, memory_words=256)
+        compiled, split = run_compiled(build(), proc=small_proc)
+        buffers = [k for k in compiled.graph.iter_kernels()
+                   if isinstance(k, BufferKernel)]
+        assert len(buffers) >= 2  # actually split
+        a = big.output_frame("Out", 0, 20, 12)
+        b = split.output_frame("Out", 0, 20, 12)
+        np.testing.assert_allclose(a, b)
+
+
+class TestPipelineFusion:
+    def pipeline_app(self, rate):
+        app = ApplicationGraph("pipe")
+        app.add_input("Input", 16, 12, rate)
+        app.add_kernel(IdentityKernel("stage1"))
+        app.add_kernel(IdentityKernel("stage2"))
+        app.add_kernel(ApplicationOutput("Out", 1, 1))
+        app.connect("Input", "out", "stage1", "in")
+        app.connect("stage1", "out", "stage2", "in")
+        app.connect("stage2", "out", "Out", "in")
+        app.add_dependency("stage1", "stage2")
+        return app
+
+    def test_fusion_creates_parallel_pipelines(self):
+        proc = ProcessorSpec(clock_hz=1e6, memory_words=512)
+        compiled = compile_application(self.pipeline_app(2000.0), proc)
+        report = compiled.parallelization
+        d1 = report.degrees["stage1"]
+        d2 = report.degrees["stage2"]
+        assert d1 > 1 and d2 == d1  # dependency ties the degrees
+        assert report.fused_pairs  # join/split pair removed
+        g = compiled.graph
+        # Each stage1 instance feeds its paired stage2 instance directly.
+        for i in range(d1):
+            edge = g.edge_into(f"stage2_{i}", "in")
+            assert edge.src == f"stage1_{i}"
+
+    def test_fusion_preserves_results(self):
+        frame = np.arange(16.0 * 12).reshape(12, 16)
+        proc = ProcessorSpec(clock_hz=1e6, memory_words=512)
+        app = self.pipeline_app(2000.0)
+        app.kernels["Input"]._pattern = frame
+        compiled = compile_application(app, proc)
+        from repro.sim import run_functional
+
+        res = run_functional(compiled.graph, frames=1)
+        np.testing.assert_allclose(
+            res.output_frame("Out", 0, 16, 12), frame
+        )
+
+    def test_fusion_can_be_disabled(self):
+        proc = ProcessorSpec(clock_hz=1e6, memory_words=512)
+        compiled = compile_application(
+            self.pipeline_app(2000.0), proc,
+            CompileOptions(fuse_pipelines=False),
+        )
+        assert not compiled.parallelization.fused_pairs

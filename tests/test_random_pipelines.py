@@ -1,0 +1,152 @@
+"""Randomized end-to-end property: compile and run arbitrary pipelines.
+
+Hypothesis generates random (but valid) linear pipelines from a kernel
+palette, random frame geometry, and random rates; for each we check the
+full-stack invariants:
+
+* the compiled graph passes physical validation;
+* the timed simulation's outputs equal the functional executor's
+  (scheduling never changes values);
+* output counts match the dataflow analysis's prediction.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import validate_physical
+from repro.geometry import Size2D, Step2D, iteration_grid
+from repro.graph import ApplicationGraph
+from repro.kernels import (
+    ApplicationOutput,
+    ConvolutionKernel,
+    DilateKernel,
+    DownsampleKernel,
+    ErodeKernel,
+    GaussianKernel,
+    IdentityKernel,
+    MedianKernel,
+    ScaleKernel,
+    SobelKernel,
+    ThresholdKernel,
+)
+from repro.machine import ProcessorSpec
+from repro.sim import SimulationOptions, run_functional, simulate
+from repro.transform import CompileOptions, compile_application
+
+# Palette entries: (constructor, window, step) so the generator can track
+# the shrinking region and stop before a window no longer fits.
+PALETTE = [
+    (lambda i: IdentityKernel(f"id{i}"), (1, 1), (1, 1)),
+    (lambda i: ScaleKernel(f"scale{i}", gain=0.5, bias=1.0), (1, 1), (1, 1)),
+    (lambda i: ThresholdKernel(f"thr{i}", level=50.0), (1, 1), (1, 1)),
+    (lambda i: MedianKernel(f"med{i}", 3, 3), (3, 3), (1, 1)),
+    (lambda i: GaussianKernel(f"gauss{i}", 3, 3), (3, 3), (1, 1)),
+    (lambda i: SobelKernel(f"sobel{i}"), (3, 3), (1, 1)),
+    (lambda i: ErodeKernel(f"erode{i}", 3, 3), (3, 3), (1, 1)),
+    (lambda i: DilateKernel(f"dil{i}", 3, 3), (3, 3), (1, 1)),
+    (
+        lambda i: ConvolutionKernel(
+            f"conv{i}", 3, 3, with_coeff_input=False,
+            coeff=np.full((3, 3), 1.0 / 9.0),
+        ),
+        (3, 3), (1, 1),
+    ),
+    (lambda i: DownsampleKernel(f"down{i}", 2), (2, 2), (2, 2)),
+]
+
+
+@st.composite
+def pipelines(draw):
+    width = draw(st.integers(8, 20))
+    height = draw(st.integers(8, 16))
+    rate = draw(st.sampled_from([50.0, 200.0, 800.0]))
+    stage_ids = draw(st.lists(st.integers(0, len(PALETTE) - 1),
+                              min_size=1, max_size=4))
+    app = ApplicationGraph("random")
+    src = app.add_input("Input", width, height, rate)
+    frame = np.arange(float(width * height)).reshape(height, width)
+    src._pattern = frame
+
+    extent = Size2D(width, height)
+    prev, prev_port = "Input", "out"
+    for i, idx in enumerate(stage_ids):
+        ctor, window, step = PALETTE[idx]
+        win = Size2D(*window)
+        stp = Step2D(*step)
+        if not win.fits_in(extent):
+            continue
+        grid = iteration_grid(extent, win, stp)
+        kernel = ctor(i)
+        app.add_kernel(kernel)
+        app.connect(prev, prev_port, kernel.name, "in")
+        prev, prev_port = kernel.name, "out"
+        extent = grid
+    app.add_kernel(ApplicationOutput("Out", 1, 1))
+    app.connect(prev, prev_port, "Out", "in")
+    return app, extent, rate
+
+
+@given(pipelines())
+@settings(max_examples=25, deadline=None)
+def test_random_pipeline_full_stack(case):
+    app, extent, rate = case
+    proc = ProcessorSpec(clock_hz=50e6, memory_words=2048)
+    compiled = compile_application(app, proc, CompileOptions(mapping="greedy"))
+    validate_physical(compiled.graph, compiled.dataflow)
+
+    func = run_functional(compiled.graph, frames=1)
+    timed = simulate(compiled, SimulationOptions(frames=1))
+
+    expected = extent.elements
+    assert len(func.output("Out")) == expected
+    assert len(timed.outputs["Out"]) == expected
+    for a, b in zip(func.output("Out"), timed.outputs["Out"]):
+        np.testing.assert_array_equal(a, b)
+
+
+@given(pipelines())
+@settings(max_examples=10, deadline=None)
+def test_random_pipeline_deterministic(case):
+    app, extent, rate = case
+    proc = ProcessorSpec(clock_hz=50e6, memory_words=2048)
+    compiled = compile_application(app, proc)
+    a = simulate(compiled, SimulationOptions(frames=1))
+    b = simulate(compiled, SimulationOptions(frames=1))
+    assert a.output_times["Out"] == b.output_times["Out"]
+    assert a.makespan_s == b.makespan_s
+
+
+@given(pipelines())
+@settings(max_examples=10, deadline=None)
+def test_random_pipeline_serialization_round_trip(case):
+    """Any library-kernel pipeline survives JSON save/load functionally."""
+    from repro.graph import dumps, loads
+
+    app, extent, rate = case
+    clone = loads(dumps(app))
+    proc = ProcessorSpec(clock_hz=50e6, memory_words=2048)
+    a = run_functional(compile_application(app, proc).graph, frames=1)
+    b = run_functional(compile_application(clone, proc).graph, frames=1)
+    assert len(a.output("Out")) == len(b.output("Out"))
+    for x, y in zip(a.output("Out"), b.output("Out")):
+        np.testing.assert_array_equal(x, y)
+
+
+@given(pipelines())
+@settings(max_examples=15, deadline=None)
+def test_random_pipeline_token_conservation(case):
+    """End-of-line translation composes: however many windowed stages the
+    pipeline chains, the sink's channel receives exactly one EOL per
+    output row plus one EOF per frame."""
+    app, extent, rate = case
+    proc = ProcessorSpec(clock_hz=50e6, memory_words=2048)
+    compiled = compile_application(app, proc)
+    func = run_functional(compiled.graph, frames=2)
+    sink_channel = next(
+        ch for ch in func.channels if ch.dst == "Out"
+    )
+    expected_tokens_per_frame = extent.h + 1  # EOLs + EOF
+    assert sink_channel.total_tokens == 2 * expected_tokens_per_frame
+    assert sink_channel.total_data == 2 * extent.elements

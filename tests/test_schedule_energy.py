@@ -1,0 +1,142 @@
+"""Tests for the static schedule admission test and the energy model."""
+
+import pytest
+
+from repro.analysis import build_static_schedule
+from repro.apps import benchmark_suite, build_image_pipeline
+from repro.errors import ResourceError
+from repro.machine import (
+    EnergyReport,
+    EnergySpec,
+    ManyCoreChip,
+    ProcessorSpec,
+    anneal_placement,
+    estimate_energy,
+)
+from repro.sim import SimulationOptions, simulate
+from repro.transform import CompileOptions, compile_application
+
+PROC = ProcessorSpec(clock_hz=20e6, memory_words=256)
+
+
+def compiled_at(rate, **opts):
+    return compile_application(build_image_pipeline(24, 16, rate), PROC,
+                               CompileOptions(**opts))
+
+
+class TestStaticSchedule:
+    def test_parallelized_is_admissible(self):
+        sched = build_static_schedule(compiled_at(1000.0))
+        assert sched.admissible
+        assert sched.bottleneck().utilization <= 1.0
+
+    def test_unparallelized_overloads(self):
+        sched = build_static_schedule(
+            compiled_at(1000.0, parallelize=False, mapping="1:1")
+        )
+        assert not sched.admissible
+        bott = sched.bottleneck()
+        assert bott.utilization > 1.0
+        assert any(e.kernel == "Conv5x5" for e in bott.entries)
+
+    def test_admission_matches_simulation(self):
+        """Admissible <-> the simulator meets, on both compiles."""
+        for opts, rate in (({}, 1000.0),
+                           ({"parallelize": False, "mapping": "1:1"}, 1000.0)):
+            compiled = compiled_at(rate, **opts)
+            sched = build_static_schedule(compiled)
+            res = simulate(compiled, SimulationOptions(frames=4))
+            verdict = res.verdict("result", rate_hz=rate, chunks_per_frame=1)
+            assert sched.admissible == verdict.meets
+
+    def test_suite_apps_all_admissible(self):
+        from repro.apps import BENCHMARK_PROCESSOR
+
+        for bench in benchmark_suite():
+            compiled = compile_application(bench.application(),
+                                           BENCHMARK_PROCESSOR)
+            sched = build_static_schedule(compiled)
+            assert sched.admissible, bench.key
+
+    def test_entries_in_dataflow_order(self):
+        sched = build_static_schedule(compiled_at(1000.0))
+        order = compiled_at(1000.0).graph.topological_order()
+        pos = {n: i for i, n in enumerate(order)}
+        for proc in sched.processors.values():
+            idx = [pos[e.kernel] for e in proc.entries]
+            assert idx == sorted(idx)
+
+    def test_repetitions_match_dataflow(self):
+        compiled = compiled_at(100.0)
+        sched = build_static_schedule(compiled)
+        for proc in sched.processors.values():
+            for entry in proc.entries:
+                flow = compiled.dataflow.flow(entry.kernel)
+                assert entry.repetitions == pytest.approx(
+                    flow.total_firings_per_second / 100.0
+                )
+
+    def test_describe(self):
+        text = build_static_schedule(compiled_at(100.0)).describe()
+        assert "ADMISSIBLE" in text and "PE0" in text
+
+
+class TestEnergy:
+    def run(self, mapping):
+        compiled = compiled_at(1000.0, mapping=mapping)
+        result = simulate(compiled, SimulationOptions(frames=3))
+        return compiled, result
+
+    def test_components_positive(self):
+        compiled, result = self.run("greedy")
+        report = estimate_energy(result, compiled.mapping, compiled.dataflow,
+                                 processor=PROC)
+        assert report.compute_j > 0
+        assert report.access_j > 0
+        assert report.network_j > 0
+        assert report.leakage_j > 0
+        assert report.total_j == pytest.approx(
+            report.compute_j + report.access_j + report.network_j
+            + report.leakage_j
+        )
+
+    def test_greedy_saves_leakage(self):
+        """Fewer powered processors -> lower leakage, lower total."""
+        c1, r1 = self.run("1:1")
+        cg, rg = self.run("greedy")
+        e1 = estimate_energy(r1, c1.mapping, c1.dataflow, processor=PROC)
+        eg = estimate_energy(rg, cg.mapping, cg.dataflow, processor=PROC)
+        assert eg.leakage_j < e1.leakage_j
+        assert eg.total_j < e1.total_j
+
+    def test_multiplexing_also_cuts_network(self):
+        """Kernels sharing an element talk through local memory for free."""
+        c1, r1 = self.run("1:1")
+        cg, rg = self.run("greedy")
+        e1 = estimate_energy(r1, c1.mapping, c1.dataflow, processor=PROC)
+        eg = estimate_energy(rg, cg.mapping, cg.dataflow, processor=PROC)
+        assert eg.network_j <= e1.network_j
+
+    def test_placement_changes_network_energy_only(self):
+        compiled, result = self.run("1:1")
+        chip = ManyCoreChip(cols=8, rows=8, processor=PROC)
+        placement = anneal_placement(compiled.mapping, compiled.dataflow,
+                                     chip, seed=0, iterations=3000)
+        bus = estimate_energy(result, compiled.mapping, compiled.dataflow,
+                              processor=PROC)
+        placed = estimate_energy(result, compiled.mapping, compiled.dataflow,
+                                 processor=PROC, placement=placement)
+        assert placed.compute_j == bus.compute_j
+        assert placed.access_j == bus.access_j
+        assert placed.leakage_j == bus.leakage_j
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ResourceError):
+            EnergySpec(pj_per_cycle=-1.0)
+
+    def test_describe(self):
+        compiled, result = self.run("greedy")
+        report = estimate_energy(result, compiled.mapping, compiled.dataflow,
+                                 processor=PROC)
+        text = report.describe()
+        assert "uJ" in text and "leakage" in text

@@ -1,0 +1,107 @@
+"""Tests for application-graph JSON serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    benchmark_suite,
+    build_bayer_app,
+    build_image_pipeline,
+    build_multi_conv_app,
+)
+from repro.errors import GraphError
+from repro.graph import ApplicationGraph, dumps, from_json, loads, to_json
+from repro.kernels import ApplicationOutput, ConvolutionKernel, IdentityKernel
+from repro.sim import run_functional
+from repro.transform import compile_application
+
+from helpers import BIG_PROC
+
+
+class TestRoundTrip:
+    def test_image_pipeline(self):
+        app = build_image_pipeline(16, 12, 100.0)
+        clone = loads(dumps(app))
+        assert set(clone.kernels) == set(app.kernels)
+        assert len(clone.edges) == len(app.edges)
+        assert len(clone.dependencies) == len(app.dependencies)
+
+    def test_functional_equivalence(self):
+        app = build_image_pipeline(16, 12, 100.0, hist_lo=-512, hist_hi=512)
+        clone = loads(dumps(app))
+        a = run_functional(compile_application(app, BIG_PROC).graph, frames=1)
+        b = run_functional(compile_application(clone, BIG_PROC).graph,
+                           frames=1)
+        np.testing.assert_array_equal(a.output("result")[0],
+                                      b.output("result")[0])
+
+    def test_every_suite_app_serializes(self):
+        for bench in benchmark_suite():
+            app = bench.application()
+            try:
+                clone = loads(dumps(app))
+            except GraphError as exc:
+                # Procedural input patterns (the Bayer mosaic generator)
+                # legitimately refuse to serialize.
+                assert "callable" in str(exc) or "serialize" in str(exc)
+                continue
+            assert set(clone.kernels) == set(app.kernels)
+
+    def test_numpy_coefficients_round_trip(self):
+        coeff = np.arange(9.0).reshape(3, 3)
+        app = ApplicationGraph("c")
+        app.add_input("Input", 8, 8, 10.0)
+        app.add_kernel(ConvolutionKernel("conv", 3, 3,
+                                         with_coeff_input=False, coeff=coeff))
+        app.add_kernel(ApplicationOutput("Out", 1, 1))
+        app.connect("Input", "out", "conv", "in")
+        app.connect("conv", "out", "Out", "in")
+        clone = loads(dumps(app))
+        np.testing.assert_array_equal(clone.kernel("conv").coeff, coeff)
+
+    def test_token_transparency_preserved(self):
+        from repro.kernels import AddKernel
+
+        app = ApplicationGraph("t")
+        app.add_input("Input", 4, 4, 10.0)
+        acc = app.add_kernel(AddKernel("acc"))
+        acc.mark_token_transparent("in1")
+        app.add_kernel(IdentityKernel("id"))
+        app.add_kernel(ApplicationOutput("Out", 1, 1))
+        app.connect("Input", "out", "acc", "in0")
+        app.connect("Input", "out", "id", "in")
+        app.connect("id", "out", "acc", "in1")
+        app.connect("acc", "out", "Out", "in")
+        clone = loads(dumps(app))
+        assert clone.kernel("acc").input_spec("in1").token_transparent
+
+    def test_json_is_plain(self):
+        """to_json output survives a stdlib json round trip."""
+        app = build_multi_conv_app(16, 12, 50.0)
+        data = json.loads(json.dumps(to_json(app)))
+        clone = from_json(data)
+        assert set(clone.kernels) == set(app.kernels)
+
+
+class TestErrors:
+    def test_procedural_pattern_rejected(self):
+        app = build_bayer_app(8, 4, 10.0)  # pattern is a callable
+        with pytest.raises(GraphError, match="serialize|callable"):
+            dumps(app)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(GraphError):
+            from_json({"format": "something-else"})
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(GraphError):
+            from_json({"format": "repro-application", "version": 99})
+
+    def test_unknown_kernel_class(self):
+        app = build_image_pipeline(16, 12, 100.0)
+        data = to_json(app)
+        data["kernels"][2]["type"] = "NotAKernel"
+        with pytest.raises(GraphError, match="unknown kernel class"):
+            from_json(data)

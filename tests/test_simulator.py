@@ -1,0 +1,152 @@
+"""Tests for the timed discrete-event simulator (Section IV-D)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    BENCHMARK_PROCESSOR,
+    build_bayer_app,
+    build_histogram_app,
+    build_image_pipeline,
+)
+from repro.machine import ProcessorSpec
+from repro.sim import (
+    SimulationOptions,
+    Simulator,
+    run_functional,
+    simulate,
+)
+from repro.transform import CompileOptions, compile_application
+
+from helpers import SMALL_PROC
+
+
+def compiled_pipeline(rate=100.0, mapping="greedy", **opts):
+    app = build_image_pipeline(24, 16, rate)
+    return compile_application(
+        app, SMALL_PROC, CompileOptions(mapping=mapping, **opts)
+    )
+
+
+class TestBasicSimulation:
+    def test_meets_realtime_at_baseline(self):
+        res = simulate(compiled_pipeline(), SimulationOptions(frames=4))
+        v = res.verdict("result", rate_hz=100.0, chunks_per_frame=1)
+        assert v.meets
+        assert v.frames_completed == 4
+        assert not res.violations
+
+    def test_timed_outputs_match_functional(self):
+        """Scheduling changes when, never what."""
+        compiled = compiled_pipeline()
+        timed = simulate(compiled, SimulationOptions(frames=2))
+        func = run_functional(compiled.graph, frames=2)
+        t_out = timed.outputs["result"]
+        f_out = func.output("result")
+        assert len(t_out) == len(f_out) == 2
+        for a, b in zip(t_out, f_out):
+            np.testing.assert_array_equal(a, b)
+
+    def test_completion_times_monotonic(self):
+        res = simulate(compiled_pipeline(), SimulationOptions(frames=4))
+        times = res.output_times["result"]
+        assert len(times) == 4
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_steady_state_interval_is_frame_period(self):
+        res = simulate(compiled_pipeline(), SimulationOptions(frames=5))
+        times = res.frame_completions("result", 1)
+        intervals = [b - a for a, b in zip(times[1:], times[2:])]
+        for dt in intervals:
+            assert dt == pytest.approx(0.01, rel=0.02)
+
+    def test_deterministic(self):
+        a = simulate(compiled_pipeline(), SimulationOptions(frames=3))
+        b = simulate(compiled_pipeline(), SimulationOptions(frames=3))
+        assert a.output_times["result"] == b.output_times["result"]
+        assert a.utilization.total_busy_s == b.utilization.total_busy_s
+
+    def test_rerun_same_compiled_app(self):
+        """Simulating one compiled graph twice must reset kernel state."""
+        compiled = compiled_pipeline()
+        a = simulate(compiled, SimulationOptions(frames=2))
+        b = simulate(compiled, SimulationOptions(frames=2))
+        np.testing.assert_array_equal(
+            a.outputs["result"][0], b.outputs["result"][0]
+        )
+
+
+class TestRealTimeMisses:
+    def test_unparallelized_misses_at_high_rate(self):
+        """The ablation the parallelizer exists for (Figure 11)."""
+        comp_ok = compiled_pipeline(rate=1000.0)
+        comp_no = compiled_pipeline(rate=1000.0, parallelize=False)
+        ok = simulate(comp_ok, SimulationOptions(frames=5))
+        no = simulate(comp_no, SimulationOptions(frames=5))
+        assert ok.verdict("result", rate_hz=1000.0, chunks_per_frame=1).meets
+        v = no.verdict("result", rate_hz=1000.0, chunks_per_frame=1)
+        assert not v.meets
+        assert v.worst_interval_s > 1.0 / 1000.0
+
+    def test_parallelization_added_kernels(self):
+        comp = compiled_pipeline(rate=1000.0)
+        assert comp.parallelization.degrees["Conv5x5"] >= 2
+
+
+class TestUtilizationAccounting:
+    def test_components_sum_to_average(self):
+        res = simulate(compiled_pipeline(), SimulationOptions(frames=3))
+        comp = res.utilization.component_fractions()
+        total = comp["run"] + comp["read"] + comp["write"]
+        assert total == pytest.approx(res.utilization.average_utilization)
+
+    def test_greedy_raises_utilization(self):
+        """Figure 12: fewer processors, higher utilization, same verdict."""
+        one = simulate(compiled_pipeline(mapping="1:1"),
+                       SimulationOptions(frames=3))
+        gm = simulate(compiled_pipeline(mapping="greedy"),
+                      SimulationOptions(frames=3))
+        assert gm.utilization.processor_count < one.utilization.processor_count
+        assert (gm.utilization.average_utilization
+                > one.utilization.average_utilization)
+
+    def test_busy_time_positive_everywhere(self):
+        res = simulate(compiled_pipeline(), SimulationOptions(frames=3))
+        for stats in res.utilization.processors.values():
+            assert stats.busy_s > 0
+            assert stats.firings > 0
+
+    def test_describe(self):
+        res = simulate(compiled_pipeline(), SimulationOptions(frames=2))
+        text = res.utilization.describe()
+        assert "avg utilization" in text
+        assert "PE0" in text
+
+
+class TestOtherApps:
+    def test_bayer_end_to_end(self):
+        app = build_bayer_app(16, 8, 200.0)
+        compiled = compile_application(app, BENCHMARK_PROCESSOR)
+        res = simulate(compiled, SimulationOptions(frames=3))
+        v = res.verdict("Video", rate_hz=200.0, chunks_per_frame=8 * 4)
+        assert v.meets
+        # Luma values positive and bounded by the mosaic dynamic range.
+        vals = [float(c[0, 0]) for c in res.outputs["Video"]]
+        assert all(0 < x < 256 for x in vals)
+
+    def test_histogram_end_to_end(self):
+        app = build_histogram_app(16, 8, 200.0)
+        compiled = compile_application(app, BENCHMARK_PROCESSOR)
+        res = simulate(compiled, SimulationOptions(frames=3))
+        v = res.verdict("result", rate_hz=200.0, chunks_per_frame=1)
+        assert v.meets
+        for h in res.outputs["result"]:
+            assert h.sum() == 16 * 8
+
+    def test_verdict_counts_missing_frames(self):
+        app = build_histogram_app(16, 8, 200.0)
+        compiled = compile_application(app, BENCHMARK_PROCESSOR)
+        res = simulate(compiled, SimulationOptions(frames=2))
+        v = res.verdict("result", rate_hz=200.0, chunks_per_frame=1, frames=5)
+        assert not v.meets
+        assert v.reason == "not all frames completed"

@@ -1,0 +1,53 @@
+"""Unit tests for control tokens (Section II-C)."""
+
+import pytest
+
+from repro.tokens import (
+    ControlToken,
+    EndOfFrame,
+    EndOfLine,
+    custom_token,
+    token_rate_per_frame,
+)
+
+
+class TestTokenClasses:
+    def test_end_of_frame_once_per_frame(self):
+        assert token_rate_per_frame(EndOfFrame, frame_height=480) == 1
+
+    def test_end_of_line_scales_with_height(self):
+        assert token_rate_per_frame(EndOfLine, frame_height=480) == 480
+
+    def test_token_names(self):
+        assert EndOfFrame.token_name() == "EndOfFrame"
+        assert EndOfLine.token_name() == "EndOfLine"
+
+    def test_tokens_carry_frame_and_line(self):
+        t = EndOfLine(frame=3, line=7)
+        assert (t.frame, t.line) == (3, 7)
+
+    def test_payload_not_compared(self):
+        assert EndOfFrame(frame=1, payload="a") == EndOfFrame(frame=1, payload="b")
+
+
+class TestCustomTokens:
+    def test_declares_max_rate(self):
+        FilterChange = custom_token("FilterChange", max_per_frame=2)
+        assert issubclass(FilterChange, ControlToken)
+        assert token_rate_per_frame(FilterChange, frame_height=100) == 2
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            custom_token("Bad", max_per_frame=-1)
+
+    def test_undeclared_rate_raises(self):
+        class Undeclared(ControlToken):
+            max_per_frame = -1
+
+        with pytest.raises(ValueError):
+            token_rate_per_frame(Undeclared, frame_height=10)
+
+    def test_instances_are_frozen(self):
+        t = EndOfFrame(frame=0)
+        with pytest.raises(AttributeError):
+            t.frame = 5  # type: ignore[misc]

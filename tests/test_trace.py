@@ -1,0 +1,83 @@
+"""Tests for execution tracing and the Gantt renderer."""
+
+import pytest
+
+from repro.apps import build_image_pipeline
+from repro.machine import ProcessorSpec
+from repro.sim import (
+    SimulationOptions,
+    TraceEvent,
+    busy_time_by_processor,
+    gantt,
+    simulate,
+)
+from repro.transform import compile_application
+
+PROC = ProcessorSpec(clock_hz=20e6, memory_words=512)
+
+
+def traced_result(frames=1):
+    compiled = compile_application(build_image_pipeline(24, 16, 100.0), PROC)
+    return simulate(compiled, SimulationOptions(frames=frames, trace=True))
+
+
+class TestTrace:
+    def test_disabled_by_default(self):
+        compiled = compile_application(build_image_pipeline(24, 16, 100.0),
+                                       PROC)
+        res = simulate(compiled, SimulationOptions(frames=1))
+        assert res.trace == []
+
+    def test_events_cover_all_processors(self):
+        res = traced_result()
+        procs = {e.processor for e in res.trace}
+        assert procs == set(res.utilization.processors)
+
+    def test_busy_time_matches_stats(self):
+        res = traced_result()
+        by_proc = busy_time_by_processor(res.trace)
+        for idx, stats in res.utilization.processors.items():
+            assert by_proc.get(idx, 0.0) == pytest.approx(stats.busy_s)
+
+    def test_no_overlap_per_processor(self):
+        """A processing element runs one firing at a time."""
+        res = traced_result()
+        by_proc: dict[int, list[TraceEvent]] = {}
+        for e in res.trace:
+            by_proc.setdefault(e.processor, []).append(e)
+        for events in by_proc.values():
+            events.sort(key=lambda e: e.start_s)
+            for a, b in zip(events, events[1:]):
+                assert b.start_s >= a.end_s - 1e-15
+
+    def test_events_ordered_fields(self):
+        res = traced_result()
+        e = res.trace[0]
+        assert e.duration_s == pytest.approx(e.read_s + e.run_s + e.write_s)
+        assert e.end_s > e.start_s
+
+    def test_gantt_renders(self):
+        res = traced_result()
+        text = gantt(res.trace, width=40)
+        lines = text.splitlines()
+        assert "gantt over" in lines[0]
+        assert len(lines) == 1 + res.utilization.processor_count
+        for line in lines[1:]:
+            assert line.strip().startswith("PE")
+            assert line.rstrip().endswith("|")
+
+    def test_gantt_empty(self):
+        assert "no trace events" in gantt([])
+
+    def test_multiplexed_processor_shows_sharing(self):
+        """Greedy-mapped processors host several kernels; at coarse
+        resolution shared quanta render uppercase."""
+        res = traced_result(frames=2)
+        multiplexed = [
+            idx for idx, stats in res.utilization.processors.items()
+            if len(stats.kernels) > 1
+        ]
+        if not multiplexed:
+            pytest.skip("mapping produced no multiplexed processors")
+        text = gantt(res.trace, width=30)
+        assert any(c.isupper() for c in text)
