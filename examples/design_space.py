@@ -1,60 +1,94 @@
-"""Design-space exploration: rate, processors, schedule, and energy.
+"""Design-space exploration through the ``repro.explore`` engine.
 
-The compiler's analyses compose into the questions an embedded architect
-actually asks:
+The questions an embedded architect asks — which sizes and mappings meet
+real time, at what utilization, on how many processors? — are sweeps over
+(application x chip x rate x compiler options).  ``repro.explore`` turns
+each sweep point into a fingerprinted job: results are cached by content
+address (re-running a sweep only executes changed points), failures are
+isolated and retried, and the aggregate report gives the paper's axes
+directly (best-rate frontier, utilization vs processor count).
 
-1. *How fast can this application run on N processors?* — the
-   StreamIt-style inverse query, answered by binary-searching compiles.
-2. *Will it provably keep up?* — the static SDF-style admission test.
-3. *What does each design point cost in energy?* — the parametric energy
-   model over the simulated run, with annealed placement for the network
-   component.
+This example runs a small grid twice to show the cache at work, then
+answers the StreamIt-style inverse query (max rate on a processor budget)
+with cached probe decisions.
 
 Run:  python examples/design_space.py
 """
 
-import repro
-from repro.analysis import build_static_schedule
+import tempfile
+
 from repro.apps import build_image_pipeline
-from repro.machine import ManyCoreChip, anneal_placement, estimate_energy
-from repro.transform import find_max_rate
+from repro.explore import (
+    ResultCache,
+    SweepSpec,
+    find_max_rate_cached,
+    run_sweep,
+)
+from repro.machine import ProcessorSpec
+
+SPEC = {
+    "name": "design_space",
+    "app": "image_pipeline",
+    "axes": {
+        "rate_hz": [100.0, 400.0],
+        "mapping": ["greedy", "1:1"],
+    },
+    "fixed": {"width": 24, "height": 16},
+    "frames": 3,
+}
 
 
 def main() -> None:
-    proc = repro.ProcessorSpec(clock_hz=20e6, memory_words=512)
-    chip = ManyCoreChip(cols=8, rows=8, processor=proc)
+    spec = SweepSpec.from_dict(SPEC)
+    jobs = spec.jobs()
+    print(f"sweep {spec.name!r}: {len(jobs)} design points")
+    for job in jobs:
+        print(f"  {job.label}  [{job.fingerprint[:12]}]")
 
-    print("budget | max rate | PEs | bottleneck | energy/frame")
-    print("-" * 60)
-    for budget in (6, 10, 16):
-        res = find_max_rate(
-            lambda r: build_image_pipeline(24, 16, r), proc,
-            processor_budget=budget, low_hz=50.0,
-        )
-        schedule = build_static_schedule(res.compiled)
-        assert schedule.admissible
-        bottleneck = schedule.bottleneck()
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cache = ResultCache(cache_dir)
 
-        sim = repro.simulate(res.compiled, repro.SimulationOptions(frames=3))
-        placement = anneal_placement(
-            res.compiled.mapping, res.compiled.dataflow, chip, seed=0,
-            iterations=5000,
+        first = run_sweep(jobs, cache=cache)
+        assert first.succeeded == len(jobs) and first.cache_hits == 0
+        print()
+        print(first.report().describe())
+
+        # Identical jobs, identical fingerprints: the second run executes
+        # nothing at all.
+        second = run_sweep(jobs, cache=cache)
+        assert second.cache_hits == len(jobs)
+        print()
+        print(f"re-run: {second.cache_hits}/{len(jobs)} points from cache "
+              f"in {second.elapsed_s:.2f}s")
+
+        # The inverse query: the highest rate a processor budget supports.
+        # Probe decisions land in the same content-addressed cache, so a
+        # repeated search recompiles only the winning rate.
+        proc = ProcessorSpec(clock_hz=20e6, memory_words=512)
+        build = lambda rate: build_image_pipeline(24, 16, rate)
+        print()
+        print("budget | max rate | PEs | probes")
+        print("-" * 38)
+        for budget in (6, 10, 16):
+            res = find_max_rate_cached(
+                build, proc, cache_dir=cache_dir,
+                processor_budget=budget, low_hz=50.0,
+            )
+            print(f"{budget:>6} | {res.best_rate_hz:7.1f}Hz "
+                  f"| {res.compiled.processor_count:3d} "
+                  f"| {res.probes} ({res.cache_hits} cached)")
+
+        again = find_max_rate_cached(
+            build, proc, cache_dir=cache_dir,
+            processor_budget=16, low_hz=50.0,
         )
-        energy = estimate_energy(
-            sim, res.compiled.mapping, res.compiled.dataflow,
-            processor=proc, placement=placement,
-        )
-        per_frame_uj = energy.total_j / 3 * 1e6
-        print(
-            f"{budget:>6} | {res.best_rate_hz:7.1f}Hz "
-            f"| {res.compiled.processor_count:3d} "
-            f"| PE{bottleneck.processor} @ {bottleneck.utilization:5.1%} "
-            f"| {per_frame_uj:6.2f} uJ"
-        )
+        assert again.cache_hits == again.probes
+        print(f"repeat | {again.best_rate_hz:7.1f}Hz |  all "
+              f"{again.probes} probes from cache")
 
     print()
-    print("Higher budgets buy rate; the admission test certifies each")
-    print("point statically, and energy scales with powered processors.")
+    print("Fingerprints make results reusable across runs; the frontier")
+    print("and utilization columns are Figures 11 and 13 as a query.")
 
 
 if __name__ == "__main__":

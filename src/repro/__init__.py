@@ -28,7 +28,7 @@ See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
 the paper-figure reproductions.
 """
 
-from . import analysis, apps, kernels, machine, sim, transform
+from . import analysis, apps, explore, kernels, machine, sim, transform
 from .errors import (
     AlignmentError,
     AnalysisError,
@@ -61,6 +61,7 @@ __version__ = "1.0.0"
 __all__ = [
     "analysis",
     "apps",
+    "explore",
     "kernels",
     "machine",
     "sim",

@@ -67,6 +67,24 @@ class ProcessorSchedule:
     def admissible(self) -> bool:
         return self.cycles_per_frame <= self.budget_cycles
 
+    def as_dict(self) -> dict:
+        """Machine-readable form (the CLI's ``--json`` output)."""
+        return {
+            "processor": self.processor,
+            "admissible": self.admissible,
+            "utilization": self.utilization,
+            "cycles_per_frame": self.cycles_per_frame,
+            "budget_cycles": self.budget_cycles,
+            "entries": [
+                {
+                    "kernel": e.kernel,
+                    "repetitions": e.repetitions,
+                    "cycles_per_frame": e.cycles_per_frame,
+                }
+                for e in self.entries
+            ],
+        }
+
     def describe(self) -> str:
         seq = "; ".join(
             f"{e.repetitions:g}({e.kernel})" for e in self.entries
@@ -95,6 +113,16 @@ class StaticSchedule:
         if not self.processors:
             return None
         return max(self.processors.values(), key=lambda p: p.utilization)
+
+    def as_dict(self) -> dict:
+        """Machine-readable form (the CLI's ``--json`` output)."""
+        return {
+            "frame_rate_hz": self.frame_rate_hz,
+            "admissible": self.admissible,
+            "processors": [
+                self.processors[p].as_dict() for p in sorted(self.processors)
+            ],
+        }
 
     def describe(self) -> str:
         lines = [

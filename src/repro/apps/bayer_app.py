@@ -16,14 +16,23 @@ from ..kernels.bayer import BayerDemosaicKernel, LuminanceKernel
 __all__ = ["build_bayer_app", "bayer_mosaic_pattern"]
 
 
-def bayer_mosaic_pattern(width: int, height: int):
+class BayerMosaicPattern:
     """A deterministic RGGB mosaic test frame generator.
 
     Each colour site gets a distinct ramp so demosaic output is easy to
     verify: R sites carry 100+i, G sites 50+i, B sites 10+i.
+
+    A class rather than a closure so graphs carrying it stay picklable —
+    compiled Bayer apps must cross process boundaries for the
+    ``repro.explore`` pool workers.
     """
 
-    def make(frame: int) -> np.ndarray:
+    def __init__(self, width: int, height: int) -> None:
+        self.width = width
+        self.height = height
+
+    def __call__(self, frame: int) -> np.ndarray:
+        width, height = self.width, self.height
         arr = np.empty((height, width), dtype=np.float64)
         idx = np.arange(width * height, dtype=np.float64).reshape(height, width)
         arr[0::2, 0::2] = 100.0 + idx[0::2, 0::2] % 17  # R
@@ -32,7 +41,10 @@ def bayer_mosaic_pattern(width: int, height: int):
         arr[1::2, 1::2] = 10.0 + idx[1::2, 1::2] % 7    # B
         return arr + frame
 
-    return make
+
+def bayer_mosaic_pattern(width: int, height: int) -> BayerMosaicPattern:
+    """Build the RGGB test pattern for a ``width x height`` sensor."""
+    return BayerMosaicPattern(width, height)
 
 
 def build_bayer_app(

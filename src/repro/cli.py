@@ -8,6 +8,10 @@
     python -m repro simulate SS --frames 4    # timing-accurate simulation
     python -m repro dot SS --compiled         # Graphviz export
     python -m repro suite                     # the Figure 13 table
+    python -m repro explore sweep.json --workers 4   # design-space sweep
+
+``simulate``, ``schedule``, ``suite``, and ``explore`` take ``--json``
+for machine-readable output.
 
 Benchmarks are addressed by their Figure 13 keys (1, 1F, 2, 2F, 3, 4, SS,
 SF, BS, BF, 5).
@@ -16,6 +20,7 @@ SF, BS, BF, 5).
 from __future__ import annotations
 
 import argparse
+import json
 import statistics
 import sys
 
@@ -71,9 +76,20 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         bench.output, rate_hz=bench.rate_hz,
         chunks_per_frame=bench.chunks_per_frame, frames=args.frames,
     )
-    print(verdict.describe())
-    print()
-    print(result.utilization.describe())
+    if args.json:
+        print(json.dumps({
+            "benchmark": bench.key,
+            "rate_hz": bench.rate_hz,
+            "frames": args.frames,
+            "processor_count": compiled.processor_count,
+            "kernel_count": compiled.kernel_count(),
+            "verdict": verdict.as_dict(),
+            "utilization": result.utilization.as_dict(),
+        }, indent=2))
+    else:
+        print(verdict.describe())
+        print()
+        print(result.utilization.describe())
     return 0 if verdict.meets else 1
 
 
@@ -96,7 +112,11 @@ def cmd_schedule(args: argparse.Namespace) -> int:
 
     _, compiled = _compile(args.key, args)
     schedule = build_static_schedule(compiled)
-    print(schedule.describe())
+    if args.json:
+        print(json.dumps({"benchmark": args.key, **schedule.as_dict()},
+                         indent=2))
+    else:
+        print(schedule.describe())
     return 0 if schedule.admissible else 1
 
 
@@ -134,10 +154,14 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_suite(args: argparse.Namespace) -> int:
-    print(f"{'bench':>6} | {'1:1 util':>9} | {'GM util':>9} | gain | meets")
+    as_json = getattr(args, "json", False)
+    if not as_json:
+        print(f"{'bench':>6} | {'1:1 util':>9} | {'GM util':>9} | gain | meets")
     gains = []
+    rows = []
     for bench in benchmark_suite():
         utils = {}
+        counts = {}
         meets = True
         for mapping in ("1:1", "greedy"):
             compiled = compile_application(
@@ -150,15 +174,70 @@ def cmd_suite(args: argparse.Namespace) -> int:
                 chunks_per_frame=bench.chunks_per_frame, frames=bench.frames,
             )
             utils[mapping] = result.utilization.average_utilization
+            counts[mapping] = compiled.processor_count
             meets = meets and verdict.meets
         gain = utils["greedy"] / utils["1:1"]
         gains.append(gain)
-        print(f"{bench.key:>6} | {utils['1:1']:>9.1%} | "
-              f"{utils['greedy']:>9.1%} | {gain:.2f}x | "
-              f"{'yes' if meets else 'NO'}")
-    print(f"geometric-mean improvement: "
-          f"{statistics.geometric_mean(gains):.2f}x")
+        if as_json:
+            rows.append({
+                "benchmark": bench.key,
+                "title": bench.title,
+                "rate_hz": bench.rate_hz,
+                "utilization_1to1": utils["1:1"],
+                "utilization_greedy": utils["greedy"],
+                "processors_1to1": counts["1:1"],
+                "processors_greedy": counts["greedy"],
+                "gain": gain,
+                "meets": meets,
+            })
+        else:
+            print(f"{bench.key:>6} | {utils['1:1']:>9.1%} | "
+                  f"{utils['greedy']:>9.1%} | {gain:.2f}x | "
+                  f"{'yes' if meets else 'NO'}")
+    geomean = statistics.geometric_mean(gains)
+    if as_json:
+        print(json.dumps({"rows": rows, "geometric_mean_gain": geomean},
+                         indent=2))
+    else:
+        print(f"geometric-mean improvement: {geomean:.2f}x")
     return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    from .explore import (
+        ResultCache,
+        ResultStore,
+        SweepOptions,
+        load_spec,
+        render_event,
+        run_sweep,
+    )
+
+    spec = load_spec(args.spec)
+    jobs = spec.jobs()
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    store = ResultStore(args.store) if args.store else None
+    quiet = args.json or args.quiet
+    result = run_sweep(
+        jobs,
+        cache=cache,
+        store=store,
+        options=SweepOptions(workers=args.workers, retries=args.retries),
+        on_event=None if quiet else render_event,
+    )
+    report = result.report()
+    if args.json:
+        print(json.dumps({
+            "sweep": result.sweep,
+            "jobs": len(jobs),
+            "elapsed_s": result.elapsed_s,
+            "cache_hits": result.cache_hits,
+            **report.as_dict(),
+        }, indent=2))
+    else:
+        print()
+        print(report.describe())
+    return 0 if result.failed == 0 else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -186,6 +265,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("simulate", help="compile and simulate a benchmark")
     p.add_argument("key")
     p.add_argument("--frames", type=int, default=4)
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
 
     p = sub.add_parser("dot", help="export a benchmark graph as Graphviz dot")
     p.add_argument("key")
@@ -197,6 +278,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("schedule",
                        help="static SDF-style schedule and admission test")
     p.add_argument("key")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
 
     p = sub.add_parser("energy", help="energy estimate for a benchmark")
     p.add_argument("key")
@@ -211,7 +294,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--frames", type=int, default=1)
     p.add_argument("--width", type=int, default=100)
 
-    sub.add_parser("suite", help="run the Figure 13 table")
+    p = sub.add_parser("suite", help="run the Figure 13 table")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+
+    p = sub.add_parser(
+        "explore",
+        help="run a design-space sweep spec through the parallel engine",
+    )
+    p.add_argument("spec", help="path to a sweep spec JSON file")
+    p.add_argument("--workers", type=int, default=0,
+                   help="worker processes (0 = serial in-process, "
+                        "-1 = one per CPU)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="extra attempts for transient job failures")
+    p.add_argument("--cache-dir", default=".explore-cache",
+                   help="content-addressed result cache directory")
+    p.add_argument("--no-cache", action="store_true",
+                   help="execute every job even when cached")
+    p.add_argument("--store", default=None,
+                   help="append terminal records to this JSONL file")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-job progress events")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable summary output")
     return parser
 
 
@@ -225,10 +331,13 @@ _COMMANDS = {
     "trace": cmd_trace,
     "energy": cmd_energy,
     "suite": cmd_suite,
+    "explore": cmd_explore,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
+    from .errors import BlockParallelError
+
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
@@ -237,6 +346,10 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     except BrokenPipeError:  # output piped into head/less and closed
         return 0
+    except (OSError, BlockParallelError) as exc:
+        # unreadable sweep spec, malformed spec, cache I/O failure, ...
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,87 @@
+"""Parallel design-space exploration with content-addressed caching.
+
+The paper's headline results are design-space sweeps: the same
+application compiled and simulated across sizes, rates, and mapping
+options (Figures 11–13).  This package turns each sweep point into a
+schedulable, cacheable, fault-tolerant job:
+
+* :mod:`~repro.explore.spec` — declarative grid/list sweeps expanded
+  into immutable, fingerprinted :class:`Job`\\ s;
+* :mod:`~repro.explore.executor` — a process-pool scheduler with
+  per-job timeouts, bounded retries, and exactly one terminal record
+  per job, no matter what a job does;
+* :mod:`~repro.explore.cache` / :mod:`~repro.explore.store` — a
+  content-addressed result cache (re-running a sweep only executes
+  changed points) and an append-only JSONL history;
+* :mod:`~repro.explore.events` — typed progress events feeding the CLI
+  renderer and any other observer;
+* :mod:`~repro.explore.rate_probe` — cached accept/reject decisions for
+  the maximum-rate search.
+
+See ``docs/explore.md`` for the spec format, caching semantics, and
+failure model; ``repro explore`` is the CLI entry point.
+"""
+
+from .cache import CACHE_SCHEMA, ResultCache
+from .events import (
+    EVENT_SCHEMA_VERSION,
+    EventLog,
+    JobCacheHit,
+    JobFailed,
+    JobFinished,
+    JobRetried,
+    JobScheduled,
+    JobStarted,
+    SweepEvent,
+    SweepFinished,
+    SweepStarted,
+    render_event,
+)
+from .executor import SweepOptions, SweepResult, execute_job, run_sweep
+from .rate_probe import DiskProbeCache, find_max_rate_cached
+from .spec import (
+    APP_TEMPLATES,
+    AppTemplate,
+    ExploreError,
+    Job,
+    SweepSpec,
+    compute_fingerprint,
+    expand,
+    load_spec,
+)
+from .store import STORE_SCHEMA, ResultStore, SweepReport, aggregate
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "ResultCache",
+    "EVENT_SCHEMA_VERSION",
+    "EventLog",
+    "JobCacheHit",
+    "JobFailed",
+    "JobFinished",
+    "JobRetried",
+    "JobScheduled",
+    "JobStarted",
+    "SweepEvent",
+    "SweepFinished",
+    "SweepStarted",
+    "render_event",
+    "SweepOptions",
+    "SweepResult",
+    "execute_job",
+    "run_sweep",
+    "DiskProbeCache",
+    "find_max_rate_cached",
+    "APP_TEMPLATES",
+    "AppTemplate",
+    "ExploreError",
+    "Job",
+    "SweepSpec",
+    "compute_fingerprint",
+    "expand",
+    "load_spec",
+    "STORE_SCHEMA",
+    "ResultStore",
+    "SweepReport",
+    "aggregate",
+]

@@ -1,0 +1,94 @@
+"""Content-addressed on-disk result cache.
+
+One JSON file per fingerprint under a cache root.  Entries are immutable
+by construction — the fingerprint covers everything that determines the
+result, so a hit is always valid for the job that computed the key.
+Failures are deliberately *not* cached: a failed point retries on the
+next sweep instead of pinning a transient error forever.
+
+Writes are atomic (temp file + ``os.replace``) so a killed sweep never
+leaves a truncated entry; a corrupt or schema-mismatched file reads as a
+miss and is overwritten by the next store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["CACHE_SCHEMA", "ResultCache"]
+
+CACHE_SCHEMA = 1
+
+
+class ResultCache:
+    """A directory of ``<fingerprint>.json`` result records."""
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, fingerprint: str) -> Path:
+        if not fingerprint or any(c in fingerprint for c in "/\\."):
+            raise ValueError(f"malformed fingerprint {fingerprint!r}")
+        return self.root / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> dict[str, Any] | None:
+        """The cached record for ``fingerprint``, or None on miss.
+
+        Unreadable or wrong-schema entries are misses, never errors — the
+        cache must not be able to take a sweep down.
+        """
+        path = self._path(fingerprint)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(entry, dict) or entry.get("schema") != CACHE_SCHEMA:
+            return None
+        if entry.get("fingerprint") != fingerprint:
+            return None
+        record = entry.get("record")
+        return record if isinstance(record, dict) else None
+
+    def put(self, fingerprint: str, record: dict[str, Any]) -> None:
+        """Atomically store ``record`` under ``fingerprint``."""
+        path = self._path(fingerprint)
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "fingerprint": fingerprint,
+            "record": record,
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh, default=str)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.get(fingerprint) is not None
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def fingerprints(self) -> Iterator[str]:
+        for path in sorted(self.root.glob("*.json")):
+            yield path.stem
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        count = 0
+        for path in self.root.glob("*.json"):
+            path.unlink(missing_ok=True)
+            count += 1
+        return count

@@ -1,0 +1,174 @@
+"""Typed progress events for design-space sweeps.
+
+The executor narrates a sweep through these events rather than printing:
+every scheduling decision, cache hit, retry, failure, and completion is
+one immutable event handed to an ``on_event`` callback.  The CLI renders
+them as progress lines; tests assert on them; a future service can ship
+them over a wire — the schema version exists so consumers can tell.
+
+Invariants (mirrored by the executor and checked by the test suite):
+
+* exactly one terminal event — :class:`JobCacheHit`, :class:`JobFinished`,
+  or :class:`JobFailed` — per job per sweep;
+* no job events after :class:`SweepFinished`;
+* :class:`JobRetried` always precedes another :class:`JobStarted` for the
+  same job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Callable
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "SweepEvent",
+    "SweepStarted",
+    "JobScheduled",
+    "JobStarted",
+    "JobCacheHit",
+    "JobRetried",
+    "JobFailed",
+    "JobFinished",
+    "SweepFinished",
+    "EventLog",
+    "render_event",
+]
+
+EVENT_SCHEMA_VERSION = "1.0"
+
+
+@dataclass(frozen=True, slots=True)
+class SweepEvent:
+    """Base class for all sweep progress events."""
+
+    #: Short human label of the job (empty for sweep-level events).
+    label: str
+
+    def as_dict(self) -> dict:
+        data = asdict(self)
+        data["event"] = type(self).__name__
+        data["schema"] = EVENT_SCHEMA_VERSION
+        return data
+
+    def describe(self) -> str:  # pragma: no cover - subclasses override
+        return f"{type(self).__name__} {self.label}"
+
+
+@dataclass(frozen=True, slots=True)
+class SweepStarted(SweepEvent):
+    """The sweep accepted ``total`` jobs for execution."""
+
+    total: int
+    workers: int
+
+    def describe(self) -> str:
+        return (f"sweep {self.label!r}: {self.total} jobs on "
+                f"{self.workers} worker(s)")
+
+
+@dataclass(frozen=True, slots=True)
+class JobScheduled(SweepEvent):
+    """A job entered the run queue (it missed the cache)."""
+
+    fingerprint: str
+
+    def describe(self) -> str:
+        return f"  queued   {self.label} [{self.fingerprint[:12]}]"
+
+
+@dataclass(frozen=True, slots=True)
+class JobStarted(SweepEvent):
+    """A worker began executing a job attempt."""
+
+    attempt: int
+
+    def describe(self) -> str:
+        tag = f" (attempt {self.attempt})" if self.attempt > 1 else ""
+        return f"  running  {self.label}{tag}"
+
+
+@dataclass(frozen=True, slots=True)
+class JobCacheHit(SweepEvent):
+    """A previously stored result satisfied the job — terminal."""
+
+    fingerprint: str
+
+    def describe(self) -> str:
+        return f"  cached   {self.label} [{self.fingerprint[:12]}]"
+
+
+@dataclass(frozen=True, slots=True)
+class JobRetried(SweepEvent):
+    """A transient failure; the job will run again after ``delay_s``."""
+
+    attempt: int
+    reason: str
+    delay_s: float
+
+    def describe(self) -> str:
+        return (f"  retry    {self.label}: {self.reason} "
+                f"(attempt {self.attempt} failed; backing off "
+                f"{self.delay_s:.2g}s)")
+
+
+@dataclass(frozen=True, slots=True)
+class JobFailed(SweepEvent):
+    """The job exhausted its attempts — terminal."""
+
+    kind: str  # "timeout" | "crash" | "error" | "compile-error"
+    message: str
+    attempts: int
+
+    def describe(self) -> str:
+        return (f"  FAILED   {self.label}: {self.kind} after "
+                f"{self.attempts} attempt(s): {self.message}")
+
+
+@dataclass(frozen=True, slots=True)
+class JobFinished(SweepEvent):
+    """The job produced a result — terminal."""
+
+    elapsed_s: float
+    meets: bool
+    processor_count: int
+
+    def describe(self) -> str:
+        verdict = "meets" if self.meets else "MISSES"
+        return (f"  done     {self.label}: {self.processor_count} PEs, "
+                f"{verdict} real-time ({self.elapsed_s:.2f}s)")
+
+
+@dataclass(frozen=True, slots=True)
+class SweepFinished(SweepEvent):
+    """The sweep completed; every job has exactly one terminal event."""
+
+    total: int
+    succeeded: int
+    failed: int
+    cache_hits: int
+    elapsed_s: float
+
+    def describe(self) -> str:
+        return (f"sweep {self.label!r} finished in {self.elapsed_s:.2f}s: "
+                f"{self.succeeded} ok, {self.failed} failed, "
+                f"{self.cache_hits} from cache")
+
+
+@dataclass(slots=True)
+class EventLog:
+    """A callback that records every event — the test observability hook."""
+
+    events: list[SweepEvent] = field(default_factory=list)
+
+    def __call__(self, event: SweepEvent) -> None:
+        self.events.append(event)
+
+    def of_type(self, cls: type) -> list[SweepEvent]:
+        return [e for e in self.events if isinstance(e, cls)]
+
+
+def render_event(event: SweepEvent,
+                 write: Callable[[str], None] = print) -> None:
+    """The CLI renderer: one line per event."""
+    write(event.describe())

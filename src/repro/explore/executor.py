@@ -1,0 +1,435 @@
+"""Parallel sweep execution: compile→simulate→measure as fault-isolated jobs.
+
+Jobs run in :class:`concurrent.futures.ProcessPoolExecutor` workers so a
+crashing or hanging design point cannot take the sweep (or the parent
+interpreter) down.  Each in-flight job gets its own *single-worker* pool:
+a broken pool then identifies its crasher exactly, and terminating a hung
+worker touches nothing else — no collateral blame, no requeue storms.
+(Worker processes are consequently per-job; with the ``fork`` start
+method that costs milliseconds against jobs that compile and simulate
+for hundreds.)
+
+The executor holds at most ``workers`` jobs in flight, tracks a
+wall-clock deadline per job, and guarantees **exactly one terminal
+record per job**:
+
+* a normal completion records a ``result``;
+* a Python exception in the worker is classified — deterministic compile
+  errors (:class:`~repro.errors.BlockParallelError`) fail immediately,
+  anything else retries with exponential backoff up to ``retries`` times
+  before recording a ``failure`` of kind ``error``;
+* a worker that dies (segfault, ``os._exit``) breaks its pool and is
+  charged a ``crash`` attempt (retryable: transient infrastructure kills
+  exist), terminal after ``retries``;
+* a job past its deadline is recorded as kind ``timeout`` (terminal by
+  default — a deterministic hang only wastes the budget again; opt into
+  ``retry_timeouts`` for flaky-infrastructure setups) and its worker
+  process is terminated.
+
+Results are stored through the content-addressed cache (hits skip
+execution entirely) and appended to the JSONL store.  ``workers=0``
+selects in-process serial execution — no isolation and best-effort
+timeouts, but trivially debuggable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from ..errors import BlockParallelError
+from ..sim.simulator import SimulationOptions, simulate
+from ..transform.compile import compile_application
+from .cache import ResultCache
+from .events import (
+    JobCacheHit,
+    JobFailed,
+    JobFinished,
+    JobRetried,
+    JobScheduled,
+    JobStarted,
+    SweepEvent,
+    SweepFinished,
+    SweepStarted,
+)
+from .spec import Job
+from .store import ResultStore, SweepReport, aggregate
+
+__all__ = ["SweepOptions", "SweepResult", "run_sweep", "execute_job"]
+
+#: Results/failures written by this executor.
+RESULT_SCHEMA = 1
+
+
+@dataclass(frozen=True, slots=True)
+class SweepOptions:
+    """Execution knobs for one sweep run."""
+
+    #: Worker processes; 0 means serial in-process execution.
+    workers: int = 0
+    #: Extra attempts after the first failure of a retryable kind.
+    retries: int = 2
+    #: Base of the exponential retry backoff, seconds.
+    backoff_s: float = 0.1
+    #: Whether a timed-out job is retried (default: terminal).
+    retry_timeouts: bool = False
+    #: Deadline-check granularity of the scheduler loop, seconds.
+    tick_s: float = 0.05
+
+    def resolved_workers(self) -> int:
+        if self.workers < 0:
+            return max(1, (os.cpu_count() or 2) - 1)
+        return self.workers
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """Terminal records for every job, in job order."""
+
+    sweep: str
+    records: list[dict[str, Any]]
+    elapsed_s: float
+
+    @property
+    def succeeded(self) -> int:
+        return sum(1 for r in self.records if r["kind"] == "result")
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for r in self.records if r["kind"] == "failure")
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.get("cache_hit"))
+
+    def report(self) -> SweepReport:
+        return aggregate(self.records)
+
+    def describe(self) -> str:
+        return self.report().describe()
+
+
+# ---------------------------------------------------------------------------
+# Job execution (runs inside workers; also the serial path)
+
+
+def _apply_injection(job: Job) -> None:
+    """Test/ops failure hooks; a no-op for real jobs."""
+    inject = job.inject_dict
+    mode = inject.get("mode")
+    if not mode:
+        return
+    if mode == "hang":
+        time.sleep(float(inject.get("sleep_s", 3600.0)))
+    elif mode == "crash":
+        os._exit(int(inject.get("exit_code", 13)))
+    elif mode == "error":
+        raise RuntimeError(inject.get("message", "injected failure"))
+    elif mode == "flaky":
+        # Fail the first ``fail_times`` attempts, succeed afterwards.
+        # Attempts are counted through marker files because each attempt
+        # may land in a different worker process.
+        marker_dir = inject["marker_dir"]
+        fail_times = int(inject.get("fail_times", 1))
+        os.makedirs(marker_dir, exist_ok=True)
+        prefix = job.fingerprint[:16]
+        seen = sum(1 for f in os.listdir(marker_dir)
+                   if f.startswith(prefix))
+        if seen < fail_times:
+            with open(os.path.join(marker_dir, f"{prefix}.{seen}"),
+                      "w", encoding="utf-8"):
+                pass
+            raise RuntimeError(
+                f"injected flaky failure {seen + 1}/{fail_times}"
+            )
+    else:
+        raise RuntimeError(f"unknown injection mode {mode!r}")
+
+
+def execute_job(job: Job) -> dict[str, Any]:
+    """Compile, simulate, and measure one design point.
+
+    Returns the plain-data ``stats`` payload of a result record.  Raises
+    on failure; classification happens in the worker wrapper.
+    """
+    _apply_injection(job)
+    started = time.perf_counter()
+    app = job.build_app()
+    compiled = compile_application(
+        app, job.build_processor(), job.build_options()
+    )
+    result = simulate(compiled, SimulationOptions(frames=job.frames))
+    output, chunks_per_frame, rate_hz = job.measurement()
+    verdict = result.verdict(
+        output, rate_hz=rate_hz, chunks_per_frame=chunks_per_frame,
+        frames=job.frames,
+    )
+    return {
+        "processor_count": compiled.processor_count,
+        "kernel_count": compiled.kernel_count(),
+        "avg_utilization": result.utilization.average_utilization,
+        "components": result.utilization.component_fractions(),
+        "meets": verdict.meets,
+        "worst_interval_s": (
+            None if verdict.worst_interval_s == float("inf")
+            else verdict.worst_interval_s
+        ),
+        "input_overruns": verdict.input_overruns,
+        "rate_hz": rate_hz,
+        "frames": job.frames,
+        "makespan_s": result.makespan_s,
+        "elapsed_s": time.perf_counter() - started,
+    }
+
+
+def _worker(job_dict: dict[str, Any]) -> dict[str, Any]:
+    """Pool entry point: never raises, so every Python-level failure comes
+    back as data (exceptions crossing the pool boundary are reserved for
+    dead workers)."""
+    job = Job.from_dict(job_dict)
+    try:
+        return {"ok": True, "stats": execute_job(job)}
+    except BlockParallelError as exc:
+        return {"ok": False, "kind": "compile-error",
+                "message": f"{type(exc).__name__}: {exc}", "retryable": False}
+    except BaseException as exc:  # noqa: BLE001 - isolation boundary
+        return {"ok": False, "kind": "error",
+                "message": f"{type(exc).__name__}: {exc}", "retryable": True}
+
+
+# ---------------------------------------------------------------------------
+# The scheduler
+
+
+@dataclass(slots=True)
+class _Attempt:
+    job: Job
+    index: int
+    attempt: int = 1
+    not_before: float = 0.0
+
+
+@dataclass(slots=True)
+class _Flight:
+    task: _Attempt
+    pool: ProcessPoolExecutor
+    started: float
+    deadline: float
+
+
+def _mp_context():
+    # fork keeps worker startup at microseconds (no numpy re-import);
+    # fall back to spawn where fork does not exist.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Shut a pool down even when workers are hung or dead.
+
+    ``shutdown`` alone never interrupts a busy worker, so the worker
+    processes are terminated explicitly; ``_processes`` is stdlib-private
+    but stable across supported versions, and the fallback is merely a
+    slower (blocking) shutdown.
+    """
+    processes = list(getattr(pool, "_processes", {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in processes:
+        try:
+            proc.terminate()
+        except (OSError, ValueError):  # pragma: no cover - already dead
+            pass
+
+
+def run_sweep(
+    jobs: Sequence[Job] | Iterable[Job],
+    *,
+    cache: ResultCache | None = None,
+    store: ResultStore | None = None,
+    options: SweepOptions = SweepOptions(),
+    on_event: Callable[[SweepEvent], None] | None = None,
+) -> SweepResult:
+    """Run every job to exactly one terminal record.
+
+    ``cache`` short-circuits jobs whose fingerprint already has a stored
+    result; ``store`` receives every terminal record as one JSONL line;
+    ``on_event`` observes progress (see :mod:`repro.explore.events`).
+    """
+    jobs = list(jobs)
+    emit = on_event or (lambda event: None)
+    sweep_name = jobs[0].sweep if jobs else "empty"
+    workers = options.resolved_workers()
+    started = time.monotonic()
+    emit(SweepStarted(sweep_name, total=len(jobs),
+                      workers=workers or 1))
+
+    terminal: dict[int, dict[str, Any]] = {}
+
+    def finish(index: int, record: dict[str, Any]) -> None:
+        if index in terminal:  # pragma: no cover - guarded by design
+            raise RuntimeError(
+                f"job {index} produced a second terminal record"
+            )
+        terminal[index] = record
+        if store is not None:
+            store.append(record)
+
+    def base_record(job: Job) -> dict[str, Any]:
+        return {
+            "result_schema": RESULT_SCHEMA,
+            "sweep": job.sweep,
+            "kind": "",
+            "label": job.label,
+            "fingerprint": job.fingerprint,
+            "job": job.to_dict(),
+        }
+
+    pending: list[_Attempt] = []
+    for index, job in enumerate(jobs):
+        cached = cache.get(job.fingerprint) if cache is not None else None
+        if cached is not None:
+            emit(JobCacheHit(job.label, fingerprint=job.fingerprint))
+            finish(index, {**cached, "cache_hit": True})
+        else:
+            emit(JobScheduled(job.label, fingerprint=job.fingerprint))
+            pending.append(_Attempt(job=job, index=index))
+
+    def succeed(task: _Attempt, stats: dict[str, Any]) -> None:
+        record = base_record(task.job)
+        record.update(kind="result", attempts=task.attempt, stats=stats)
+        if cache is not None:
+            cache.put(task.job.fingerprint, record)
+        finish(task.index, record)
+        emit(JobFinished(
+            task.job.label,
+            elapsed_s=stats.get("elapsed_s", 0.0),
+            meets=bool(stats.get("meets")),
+            processor_count=int(stats.get("processor_count", 0)),
+        ))
+
+    def fail_or_retry(task: _Attempt, kind: str, message: str,
+                      retryable: bool) -> None:
+        if retryable and task.attempt <= options.retries:
+            delay = options.backoff_s * (2 ** (task.attempt - 1))
+            emit(JobRetried(task.job.label, attempt=task.attempt,
+                            reason=f"{kind}: {message}", delay_s=delay))
+            task.attempt += 1
+            task.not_before = time.monotonic() + delay
+            pending.append(task)
+            return
+        record = base_record(task.job)
+        record.update(kind="failure", attempts=task.attempt, failure={
+            "kind": kind, "message": message,
+        })
+        finish(task.index, record)
+        emit(JobFailed(task.job.label, kind=kind, message=message,
+                       attempts=task.attempt))
+
+    def handle_payload(task: _Attempt, payload: dict[str, Any]) -> None:
+        if payload.get("ok"):
+            succeed(task, payload["stats"])
+        else:
+            fail_or_retry(task, payload.get("kind", "error"),
+                          payload.get("message", "unknown failure"),
+                          bool(payload.get("retryable", True)))
+
+    if workers == 0:
+        _run_serial(pending, handle_payload, emit)
+    else:
+        _run_pooled(pending, workers, options, handle_payload,
+                    fail_or_retry, emit)
+
+    records = [terminal[i] for i in sorted(terminal)]
+    elapsed = time.monotonic() - started
+    result = SweepResult(sweep=sweep_name, records=records,
+                         elapsed_s=elapsed)
+    emit(SweepFinished(sweep_name, total=len(jobs),
+                       succeeded=result.succeeded, failed=result.failed,
+                       cache_hits=result.cache_hits, elapsed_s=elapsed))
+    return result
+
+
+def _run_serial(pending: list[_Attempt], handle_payload, emit) -> None:
+    """In-process execution: no isolation, timeouts not enforced."""
+    while pending:
+        task = pending.pop(0)
+        now = time.monotonic()
+        if task.not_before > now:
+            time.sleep(task.not_before - now)
+        emit(JobStarted(task.job.label, attempt=task.attempt))
+        handle_payload(task, _worker(task.job.to_dict()))
+
+
+def _run_pooled(pending: list[_Attempt], workers: int,
+                options: SweepOptions, handle_payload, fail_or_retry,
+                emit) -> None:
+    """At most ``workers`` jobs in flight, each in a single-worker pool
+    of its own so failure blame and termination are exact."""
+    ctx = _mp_context()
+    in_flight: dict[Future, _Flight] = {}
+    try:
+        while pending or in_flight:
+            now = time.monotonic()
+            # Top up: launch ready tasks while worker slots are free.
+            ready = [t for t in pending if t.not_before <= now]
+            while ready and len(in_flight) < workers:
+                task = ready.pop(0)
+                pending.remove(task)
+                emit(JobStarted(task.job.label, attempt=task.attempt))
+                pool = ProcessPoolExecutor(max_workers=1, mp_context=ctx)
+                future = pool.submit(_worker, task.job.to_dict())
+                in_flight[future] = _Flight(
+                    task=task, pool=pool, started=now,
+                    deadline=now + task.job.timeout_s,
+                )
+            if not in_flight:
+                # Everything pending is backing off; sleep until the
+                # earliest becomes ready.
+                wake = min(t.not_before for t in pending)
+                time.sleep(max(options.tick_s, wake - time.monotonic()))
+                continue
+
+            done, _ = wait(set(in_flight), timeout=options.tick_s,
+                           return_when=FIRST_COMPLETED)
+            for future in done:
+                flight = in_flight.pop(future)
+                error = future.exception()
+                if error is None:
+                    handle_payload(flight.task, future.result())
+                elif isinstance(error, BrokenProcessPool):
+                    # This job's own worker died mid-job (hard crash);
+                    # single-worker pools make the attribution exact.
+                    fail_or_retry(flight.task, "crash",
+                                  "worker process died", True)
+                else:  # pragma: no cover - _worker never raises
+                    fail_or_retry(flight.task, "error", str(error), True)
+                _terminate_pool(flight.pool)
+
+            # Deadline scan: a hung job gets a timeout record (terminal
+            # unless retry_timeouts) and only *its* worker is killed.
+            now = time.monotonic()
+            expired = [f for f, fl in in_flight.items()
+                       if fl.deadline <= now]
+            for future in expired:
+                flight = in_flight.pop(future)
+                fail_or_retry(
+                    flight.task, "timeout",
+                    f"exceeded {flight.task.job.timeout_s:g}s wall clock",
+                    options.retry_timeouts,
+                )
+                _terminate_pool(flight.pool)
+    finally:
+        for flight in in_flight.values():  # pragma: no cover - unwind
+            _terminate_pool(flight.pool)

@@ -1,0 +1,65 @@
+"""Disk-backed probe cache for the maximum-rate search.
+
+:func:`repro.transform.find_max_rate` compiles the application at every
+probed rate; across repeated searches (design-space scripts, CI, a
+benchmark re-run) most probes hit configurations that were already
+decided.  This module persists those accept/reject decisions in the same
+content-addressed cache the sweep executor uses, so a repeated search
+recompiles nothing but its final answer.
+
+The cached unit is a *decision* (does ``rate`` fit the budget?), not a
+compiled artifact: decisions are tiny, JSON-safe, and sufficient — the
+search only needs the winning rate compiled once, which
+``find_max_rate`` does lazily when every accepted probe came from cache.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from ..graph.app import ApplicationGraph
+from ..machine.processor import ProcessorSpec
+from ..transform.compile import CompileOptions
+from ..transform.rate_search import RateSearchResult, find_max_rate
+from .cache import ResultCache
+
+__all__ = ["DiskProbeCache", "find_max_rate_cached"]
+
+
+class DiskProbeCache:
+    """Adapts :class:`ResultCache` to the rate search's probe-cache
+    protocol (``get_decision`` / ``put_decision``)."""
+
+    def __init__(self, cache: ResultCache) -> None:
+        self.cache = cache
+        self.hits = 0
+        self.misses = 0
+
+    def get_decision(self, key: str) -> bool | None:
+        record = self.cache.get(key)
+        if record is None or record.get("kind") != "rate-probe":
+            self.misses += 1
+            return None
+        self.hits += 1
+        return bool(record["accepted"])
+
+    def put_decision(self, key: str, accepted: bool) -> None:
+        self.cache.put(key, {"kind": "rate-probe", "accepted": accepted})
+
+
+def find_max_rate_cached(
+    build: Callable[[float], ApplicationGraph],
+    processor: ProcessorSpec,
+    *,
+    cache_dir: str | os.PathLike[str],
+    **kwargs,
+) -> RateSearchResult:
+    """:func:`find_max_rate` with decisions cached under ``cache_dir``.
+
+    The first search over a configuration pays full price; repeats of the
+    same configuration compile exactly once (the winning rate).
+    """
+    probe_cache = DiskProbeCache(ResultCache(cache_dir))
+    return find_max_rate(build, processor, probe_cache=probe_cache,
+                         **kwargs)

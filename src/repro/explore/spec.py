@@ -1,0 +1,409 @@
+"""Declarative sweep specifications and content-addressed jobs.
+
+A sweep names an application and a set of axes; expansion takes the
+cartesian product and yields one immutable :class:`Job` per point.  Each
+job is a *plain-data* description — app name plus parameter dicts — so it
+crosses process boundaries trivially and its identity can be computed
+without running anything.
+
+Axis keys route automatically by name:
+
+* ``clock_mhz``, ``memory_words``, ``read_cycles_per_element``,
+  ``write_cycles_per_element`` configure the
+  :class:`~repro.machine.ProcessorSpec`;
+* ``mapping``, ``parallelize``, ``fuse_pipelines``, ``utilization_target``,
+  ``alignment_policy`` configure :class:`~repro.transform.CompileOptions`;
+* ``frames`` configures the simulation;
+* everything else is passed to the application builder (validated against
+  its signature at expansion time, so typos fail before any job runs).
+
+The **fingerprint** is the job's content address: a sha256 over the
+canonical JSON of the *built application graph* (when it serializes —
+see :func:`repro.graph.fingerprint`) plus the processor, compile, and
+simulation configuration.  Changing any kernel parameter, wiring, or
+config knob changes the fingerprint; re-running an identical point hits
+the cache.  Graphs with procedural inputs fall back to hashing the
+declarative spec alone (documented in ``docs/explore.md``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+from ..apps import (
+    build_bayer_app,
+    build_buffer_test_app,
+    build_filter_bank_app,
+    build_histogram_app,
+    build_image_pipeline,
+    build_multi_conv_app,
+    benchmark,
+    benchmark_suite,
+)
+from ..errors import BlockParallelError, GraphError
+from ..graph.app import ApplicationGraph
+from ..graph.serialize import FINGERPRINT_SCHEMA
+from ..graph.serialize import fingerprint as graph_fingerprint
+from ..machine.processor import ProcessorSpec
+from ..transform.compile import CompileOptions
+
+__all__ = [
+    "ExploreError",
+    "AppTemplate",
+    "APP_TEMPLATES",
+    "Job",
+    "SweepSpec",
+    "expand",
+    "load_spec",
+    "compute_fingerprint",
+]
+
+
+class ExploreError(BlockParallelError):
+    """A malformed sweep specification or job."""
+
+
+PROCESSOR_KEYS = frozenset({
+    "clock_mhz", "memory_words",
+    "read_cycles_per_element", "write_cycles_per_element",
+})
+OPTION_KEYS = frozenset({
+    "mapping", "parallelize", "fuse_pipelines",
+    "utilization_target", "alignment_policy",
+})
+SIM_KEYS = frozenset({"frames"})
+
+
+@dataclass(frozen=True, slots=True)
+class AppTemplate:
+    """A sweep-addressable application: builder plus measurement contract."""
+
+    name: str
+    build: Callable[..., ApplicationGraph]
+    #: Application output kernel where real-time completion is measured.
+    output: str
+    #: Chunks completing one frame at that output, given builder params.
+    chunks_per_frame: Callable[[Mapping[str, Any]], int]
+
+
+def _w(params: Mapping[str, Any]) -> int:
+    return int(params["width"])
+
+
+def _h(params: Mapping[str, Any]) -> int:
+    return int(params["height"])
+
+
+APP_TEMPLATES: dict[str, AppTemplate] = {
+    t.name: t for t in [
+        AppTemplate("image_pipeline", build_image_pipeline,
+                    "result", lambda p: 1),
+        AppTemplate("histogram", build_histogram_app, "result", lambda p: 1),
+        AppTemplate("bayer", build_bayer_app, "Video",
+                    lambda p: (_w(p) // 2) * (_h(p) // 2)),
+        AppTemplate("buffer_test", build_buffer_test_app, "Out",
+                    lambda p: (_w(p) - 6) * (_h(p) - 6)),
+        AppTemplate("multi_conv", build_multi_conv_app, "Out",
+                    lambda p: (_w(p) - 4) * (_h(p) - 4)),
+        AppTemplate("filter_bank", build_filter_bank_app, "Out",
+                    lambda p: (_w(p) - 4) * (_h(p) - 4)),
+    ]
+}
+
+
+@dataclass(frozen=True)
+class Job:
+    """One immutable design point: build, compile, simulate, measure.
+
+    Plain data end to end — every field survives ``to_dict``/``from_dict``
+    through JSON, which is how jobs travel to pool workers and into the
+    result store.
+    """
+
+    #: Sweep name this job belongs to (labelling only).
+    sweep: str
+    #: Application: an :data:`APP_TEMPLATES` name or a Figure 13 key.
+    app: str
+    #: Builder keyword arguments (positional axes like width/height/rate).
+    params: tuple[tuple[str, Any], ...] = ()
+    #: ProcessorSpec overrides (``clock_mhz`` etc.).
+    processor: tuple[tuple[str, Any], ...] = ()
+    #: CompileOptions overrides (``mapping`` etc.).
+    options: tuple[tuple[str, Any], ...] = ()
+    frames: int = 3
+    #: Per-job wall-clock ceiling, seconds.
+    timeout_s: float = 300.0
+    #: Failure injection for tests/ops drills: ``{"mode": "hang" | "crash"
+    #: | "error" | "flaky", ...}``.  Never set by spec expansion.
+    inject: tuple[tuple[str, Any], ...] = ()
+    _fingerprint: str = field(default="", compare=False, repr=False)
+
+    # -- construction helpers ------------------------------------------
+
+    @property
+    def param_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    @property
+    def inject_dict(self) -> dict[str, Any]:
+        return dict(self.inject)
+
+    @property
+    def label(self) -> str:
+        bits = [f"{k}={v}" for k, v in self.params]
+        bits += [f"{k}={v}" for k, v in self.processor]
+        bits += [f"{k}={v}" for k, v in self.options]
+        return f"{self.app}({', '.join(bits)})" if bits else self.app
+
+    def build_app(self) -> ApplicationGraph:
+        if self.app in APP_TEMPLATES:
+            return APP_TEMPLATES[self.app].build(**self.param_dict)
+        return benchmark(self.app).application()
+
+    def build_processor(self) -> ProcessorSpec:
+        overrides = dict(self.processor)
+        clock_mhz = overrides.pop("clock_mhz", None)
+        kwargs: dict[str, Any] = dict(overrides)
+        if clock_mhz is not None:
+            kwargs["clock_hz"] = float(clock_mhz) * 1e6
+        base = ProcessorSpec(clock_hz=20e6, memory_words=512)
+        return ProcessorSpec(**{
+            "clock_hz": base.clock_hz,
+            "memory_words": base.memory_words,
+            "read_cycles_per_element": base.read_cycles_per_element,
+            "write_cycles_per_element": base.write_cycles_per_element,
+            **kwargs,
+        })
+
+    def build_options(self) -> CompileOptions:
+        return CompileOptions(**dict(self.options))
+
+    def measurement(self) -> tuple[str, int, float]:
+        """(output kernel, chunks per frame, input rate) for the verdict."""
+        if self.app in APP_TEMPLATES:
+            template = APP_TEMPLATES[self.app]
+            params = self.param_dict
+            rate = params.get("rate_hz")
+            if rate is None:  # builder default applies
+                rate = inspect.signature(
+                    template.build
+                ).parameters["rate_hz"].default
+            return template.output, template.chunks_per_frame(params), float(rate)
+        bench = benchmark(self.app)
+        return bench.output, bench.chunks_per_frame, bench.rate_hz
+
+    # -- identity ------------------------------------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        """Content-addressed identity; see the module docstring."""
+        if self._fingerprint:
+            return self._fingerprint
+        fp = compute_fingerprint(self)
+        object.__setattr__(self, "_fingerprint", fp)
+        return fp
+
+    # -- wire format ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "sweep": self.sweep,
+            "app": self.app,
+            "params": self.param_dict,
+            "processor": dict(self.processor),
+            "options": dict(self.options),
+            "frames": self.frames,
+            "timeout_s": self.timeout_s,
+            "inject": self.inject_dict,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Job":
+        return cls(
+            sweep=data.get("sweep", ""),
+            app=data["app"],
+            params=_freeze(data.get("params", {})),
+            processor=_freeze(data.get("processor", {})),
+            options=_freeze(data.get("options", {})),
+            frames=int(data.get("frames", 3)),
+            timeout_s=float(data.get("timeout_s", 300.0)),
+            inject=_freeze(data.get("inject", {})),
+            _fingerprint=data.get("fingerprint", ""),
+        )
+
+
+def _freeze(mapping: Mapping[str, Any]) -> tuple[tuple[str, Any], ...]:
+    return tuple(sorted(mapping.items()))
+
+
+def compute_fingerprint(job: Job) -> str:
+    """sha256 over the built graph's canonical JSON plus job config."""
+    payload: dict[str, Any] = {
+        "schema": FINGERPRINT_SCHEMA,
+        "app": job.app,
+        "params": job.param_dict,
+        "processor": dict(job.processor),
+        "options": dict(job.options),
+        "frames": job.frames,
+        "inject": job.inject_dict,
+    }
+    try:
+        payload["graph"] = graph_fingerprint(job.build_app())
+    except GraphError:
+        # Procedural input patterns refuse to serialize; the declarative
+        # spec alone is then the identity (stated in docs/explore.md).
+        payload["graph"] = None
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=str)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True, slots=True)
+class SweepSpec:
+    """A declarative design-space sweep.
+
+    JSON form::
+
+        {
+          "name": "fig11",
+          "app": "image_pipeline",
+          "axes": {
+            "width": [24, 48], "height": [16, 32],
+            "rate_hz": [100, 400],
+            "mapping": ["greedy", "1:1"]
+          },
+          "fixed": {"clock_mhz": 20, "memory_words": 512},
+          "frames": 3,
+          "timeout_s": 120
+        }
+
+    ``axes`` values are lists (grid axes); ``fixed`` values are scalars
+    applied to every point.  ``points`` may replace ``axes`` with an
+    explicit list of parameter dicts (a *list sweep*).
+    """
+
+    name: str
+    app: str
+    axes: tuple[tuple[str, tuple[Any, ...]], ...] = ()
+    fixed: tuple[tuple[str, Any], ...] = ()
+    points: tuple[tuple[tuple[str, Any], ...], ...] = ()
+    frames: int = 3
+    timeout_s: float = 300.0
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        unknown = set(data) - {"name", "app", "axes", "fixed", "points",
+                               "frames", "timeout_s"}
+        if unknown:
+            raise ExploreError(
+                f"unknown sweep spec keys: {sorted(unknown)}"
+            )
+        if "app" not in data:
+            raise ExploreError("sweep spec needs an 'app'")
+        axes = data.get("axes", {})
+        for key, values in axes.items():
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ExploreError(
+                    f"axis {key!r} must be a non-empty list, got {values!r}"
+                )
+        return cls(
+            name=data.get("name", "sweep"),
+            app=data["app"],
+            axes=tuple(sorted((k, tuple(v)) for k, v in axes.items())),
+            fixed=_freeze(data.get("fixed", {})),
+            points=tuple(_freeze(p) for p in data.get("points", ())),
+            frames=int(data.get("frames", 3)),
+            timeout_s=float(data.get("timeout_s", 300.0)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        return cls.from_dict(json.loads(text))
+
+    def jobs(self) -> list[Job]:
+        return expand(self)
+
+
+def _route(point: Mapping[str, Any], spec: SweepSpec) -> Job:
+    params: dict[str, Any] = {}
+    processor: dict[str, Any] = {}
+    options: dict[str, Any] = {}
+    frames = spec.frames
+    for key, value in point.items():
+        if key in PROCESSOR_KEYS:
+            processor[key] = value
+        elif key in OPTION_KEYS:
+            options[key] = value
+        elif key in SIM_KEYS:
+            frames = int(value)
+        else:
+            params[key] = value
+    _validate_builder_params(spec.app, params)
+    return Job(
+        sweep=spec.name,
+        app=spec.app,
+        params=_freeze(params),
+        processor=_freeze(processor),
+        options=_freeze(options),
+        frames=frames,
+        timeout_s=spec.timeout_s,
+    )
+
+
+def _validate_builder_params(app: str, params: Mapping[str, Any]) -> None:
+    if app in APP_TEMPLATES:
+        sig = inspect.signature(APP_TEMPLATES[app].build)
+        try:
+            sig.bind(**params)
+        except TypeError as exc:
+            raise ExploreError(
+                f"app {app!r} rejects parameters {sorted(params)}: {exc}"
+            ) from None
+        return
+    known = {b.key for b in benchmark_suite()}
+    if app not in known:
+        raise ExploreError(
+            f"unknown app {app!r}: not a template "
+            f"({sorted(APP_TEMPLATES)}) or benchmark key ({sorted(known)})"
+        )
+    if params:
+        raise ExploreError(
+            f"benchmark {app!r} takes no parameters, got {sorted(params)}"
+        )
+
+
+def expand(spec: SweepSpec) -> list[Job]:
+    """Expand a sweep into its immutable job list, axes in sorted-key
+    order so the expansion order is deterministic."""
+    fixed = dict(spec.fixed)
+    jobs: list[Job] = []
+    if spec.points:
+        for point in spec.points:
+            jobs.append(_route({**fixed, **dict(point)}, spec))
+    if spec.axes or not spec.points:
+        keys = [k for k, _ in spec.axes]
+        value_lists = [v for _, v in spec.axes]
+        for combo in itertools.product(*value_lists):
+            jobs.append(_route({**fixed, **dict(zip(keys, combo))}, spec))
+    if not jobs:
+        raise ExploreError(f"sweep {spec.name!r} expanded to zero jobs")
+    return jobs
+
+
+def load_spec(path: str) -> SweepSpec:
+    """Load a sweep spec from a JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            data = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ExploreError(f"sweep spec {path!r} is not JSON: {exc}") \
+                from None
+    if not isinstance(data, Mapping):
+        raise ExploreError(f"sweep spec {path!r} must be a JSON object")
+    return SweepSpec.from_dict(data)

@@ -1,0 +1,172 @@
+"""Append-only JSONL result store and sweep-level aggregation.
+
+Every terminal job record — result or failure — appends one line to a
+JSONL file with a schema version, so a sweep's history survives crashes
+mid-run (lines already written stay valid) and heterogeneous sweeps can
+share one store.  ``load`` tolerates truncated final lines (the one
+partial write a crash can produce) and skips foreign-schema lines rather
+than failing.
+
+Aggregation turns raw records into the paper's design-space axes:
+the best-rate frontier per processor count (Figure 11's rate/processor
+trade-off) and utilization versus processor count (Figure 13's bars).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+__all__ = ["STORE_SCHEMA", "ResultStore", "SweepReport", "aggregate"]
+
+STORE_SCHEMA = 1
+
+
+class ResultStore:
+    """An append-only JSONL file of terminal job records."""
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def append(self, record: dict[str, Any]) -> None:
+        line = json.dumps({"schema": STORE_SCHEMA, **record}, default=str)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn final line from a crashed writer
+                if (isinstance(record, dict)
+                        and record.get("schema") == STORE_SCHEMA):
+                    yield record
+
+    def load(self) -> list[dict[str, Any]]:
+        return list(self)
+
+
+@dataclass(slots=True)
+class SweepReport:
+    """Aggregate view over terminal records (possibly several sweeps)."""
+
+    records: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def results(self) -> list[dict[str, Any]]:
+        return [r for r in self.records if r.get("kind") == "result"]
+
+    @property
+    def failures(self) -> list[dict[str, Any]]:
+        return [r for r in self.records if r.get("kind") == "failure"]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.get("cache_hit"))
+
+    def frontier(self) -> list[dict[str, Any]]:
+        """Best achieved rate per (app, processor count), meeting points
+        only — the Figure 11 axes.  Sorted by app then processor count."""
+        best: dict[tuple[str, int], dict[str, Any]] = {}
+        for rec in self.results:
+            stats = rec.get("stats", {})
+            if not stats.get("meets"):
+                continue
+            rate = stats.get("rate_hz") or 0.0
+            key = (rec.get("job", {}).get("app", "?"),
+                   int(stats.get("processor_count", 0)))
+            if key not in best or rate > best[key]["rate_hz"]:
+                best[key] = {
+                    "app": key[0],
+                    "processor_count": key[1],
+                    "rate_hz": rate,
+                    "label": rec.get("label", ""),
+                }
+        return sorted(best.values(),
+                      key=lambda r: (r["app"], r["processor_count"]))
+
+    def utilization_by_processors(self) -> list[dict[str, Any]]:
+        """Mean utilization grouped by processor count — Figure 13's
+        x-axis.  Includes missing points so under-provisioned regions of
+        the space stay visible."""
+        groups: dict[int, list[float]] = {}
+        for rec in self.results:
+            stats = rec.get("stats", {})
+            count = int(stats.get("processor_count", 0))
+            groups.setdefault(count, []).append(
+                float(stats.get("avg_utilization", 0.0))
+            )
+        return [
+            {
+                "processor_count": count,
+                "mean_utilization": sum(vals) / len(vals),
+                "points": len(vals),
+            }
+            for count, vals in sorted(groups.items())
+        ]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "schema": STORE_SCHEMA,
+            "total": len(self.records),
+            "succeeded": len(self.results),
+            "failed": len(self.failures),
+            "cache_hits": self.cache_hits,
+            "frontier": self.frontier(),
+            "utilization_by_processors": self.utilization_by_processors(),
+            "failures": [
+                {
+                    "label": r.get("label", ""),
+                    "kind": r.get("failure", {}).get("kind", "?"),
+                    "message": r.get("failure", {}).get("message", ""),
+                }
+                for r in self.failures
+            ],
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"{len(self.records)} records: {len(self.results)} ok, "
+            f"{len(self.failures)} failed, {self.cache_hits} from cache"
+        ]
+        frontier = self.frontier()
+        if frontier:
+            lines.append("best-rate frontier (meets real-time):")
+            for row in frontier:
+                lines.append(
+                    f"  {row['app']:>16} | {row['processor_count']:3d} PEs "
+                    f"| {row['rate_hz']:8.1f} Hz"
+                )
+        util = self.utilization_by_processors()
+        if util:
+            lines.append("utilization vs processor count:")
+            for row in util:
+                lines.append(
+                    f"  {row['processor_count']:3d} PEs | "
+                    f"{row['mean_utilization']:6.1%} mean over "
+                    f"{row['points']} point(s)"
+                )
+        for row in self.failures:
+            fail = row.get("failure", {})
+            lines.append(
+                f"  FAILED {row.get('label', '?')}: {fail.get('kind', '?')}"
+                f" — {fail.get('message', '')}"
+            )
+        return "\n".join(lines)
+
+
+def aggregate(records: Iterable[dict[str, Any]]) -> SweepReport:
+    """Build a :class:`SweepReport` from raw store records."""
+    return SweepReport(records=list(records))

@@ -5,7 +5,14 @@ from .edges import DependencyEdge, StreamEdge
 from .kernel import FiringContext, Kernel, TransferResult
 from .methods import MethodCost, MethodSpec, TokenTrigger
 from .ports import Direction, InputSpec, OutputSpec
-from .serialize import dumps, from_json, loads, to_json
+from .serialize import (
+    canonical_json,
+    dumps,
+    fingerprint,
+    from_json,
+    loads,
+    to_json,
+)
 
 __all__ = [
     "ApplicationGraph",
@@ -20,7 +27,9 @@ __all__ = [
     "Direction",
     "InputSpec",
     "OutputSpec",
+    "canonical_json",
     "dumps",
+    "fingerprint",
     "from_json",
     "loads",
     "to_json",

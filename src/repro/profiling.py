@@ -12,6 +12,18 @@ Estimates are inherently host-noisy; they are intended to *seed* the
 resource model (an order-of-magnitude starting point a programmer then
 refines), so the API reports medians over many repetitions and the
 calibration constant alongside each estimate.
+
+Worker-process safety
+---------------------
+Profiling is safe to run inside :class:`concurrent.futures`
+process-pool workers (the ``repro.explore`` executor does): the only
+module-level mutable state is the calibration memo below, which is
+per-process, write-once per iteration count, and carries no host
+resources — under ``fork`` a child inherits the parent's measured
+constant (same host, still valid), under ``spawn`` each worker simply
+recalibrates once.  Kernels themselves hold their state on instances,
+and :func:`profile_kernel` resets the kernel before and after, so no
+profiling state leaks between jobs sharing a worker.
 """
 
 from __future__ import annotations
@@ -27,7 +39,8 @@ from .graph.kernel import FiringContext, Kernel
 from .graph.methods import MethodCost, MethodSpec
 from .tokens import EndOfFrame
 
-__all__ = ["ProfiledCost", "ProfileReport", "profile_kernel", "apply_profile"]
+__all__ = ["ProfiledCost", "ProfileReport", "calibrate", "profile_kernel",
+           "apply_profile"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -67,13 +80,25 @@ class ProfileReport:
         return "\n".join(lines)
 
 
-def _calibrate(iterations: int = 200_000) -> float:
-    """Host seconds per abstract cycle.
+#: Memoized calibration constants keyed by iteration count.  Per-process
+#: and write-once per key: concurrent profiling jobs in one process may
+#: race to fill it, but both compute the same measurement and the last
+#: write wins harmlessly.  See "Worker-process safety" above.
+_CALIBRATION: dict[int, float] = {}
+
+
+def calibrate(iterations: int = 200_000, *, refresh: bool = False) -> float:
+    """Host seconds per abstract cycle, memoized per process.
 
     One abstract cycle is defined as one multiply-accumulate step of a
     scalar loop — roughly the work the paper's cycle counts (e.g.
-    ``3*h*w`` for a convolution) assume per element.
+    ``3*h*w`` for a convolution) assume per element.  The measurement
+    runs once per process (it costs tens of milliseconds, which would
+    otherwise dominate short profiling jobs in pool workers); pass
+    ``refresh=True`` to re-measure, e.g. after host frequency scaling.
     """
+    if not refresh and iterations in _CALIBRATION:
+        return _CALIBRATION[iterations]
     best = float("inf")
     for _ in range(3):
         acc = 0.0
@@ -84,7 +109,13 @@ def _calibrate(iterations: int = 200_000) -> float:
         best = min(best, elapsed)
     if acc < 0:  # pragma: no cover - defeat optimization, never true
         raise RuntimeError
-    return best / iterations
+    _CALIBRATION[iterations] = best / iterations
+    return _CALIBRATION[iterations]
+
+
+def _calibrate(iterations: int = 200_000) -> float:
+    """Backwards-compatible alias for :func:`calibrate`."""
+    return calibrate(iterations)
 
 
 def _synthetic_inputs(kernel: Kernel, method: MethodSpec,
@@ -129,7 +160,7 @@ def profile_kernel(
     """
     if repeats < 10:
         raise ResourceError("profiling needs at least 10 repeats")
-    spc = seconds_per_cycle if seconds_per_cycle else _calibrate()
+    spc = seconds_per_cycle if seconds_per_cycle else calibrate()
     rng = np.random.default_rng(seed)
     kernel.reset()
     for name, cost in kernel.init_methods.items():

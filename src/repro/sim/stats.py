@@ -66,6 +66,27 @@ class UtilizationSummary:
             "write": sum(p.write_s for p in self.processors.values()) / denom,
         }
 
+    def as_dict(self) -> dict:
+        """Machine-readable form (the CLI's ``--json`` output)."""
+        return {
+            "duration_s": self.duration_s,
+            "processor_count": self.processor_count,
+            "average_utilization": self.average_utilization,
+            "components": self.component_fractions(),
+            "processors": [
+                {
+                    "index": p.index,
+                    "utilization": p.utilization(self.duration_s),
+                    "read_s": p.read_s,
+                    "run_s": p.run_s,
+                    "write_s": p.write_s,
+                    "firings": p.firings,
+                    "kernels": sorted(p.kernels),
+                }
+                for _, p in sorted(self.processors.items())
+            ],
+        }
+
     def describe(self) -> str:
         comp = self.component_fractions()
         lines = [
@@ -94,6 +115,21 @@ class RealTimeVerdict:
     frame_period_s: float
     input_overruns: int
     reason: str = ""
+
+    def as_dict(self) -> dict:
+        """Machine-readable form (the CLI's ``--json`` output)."""
+        return {
+            "meets": self.meets,
+            "frames_expected": self.frames_expected,
+            "frames_completed": self.frames_completed,
+            "worst_interval_s": (
+                None if self.worst_interval_s == float("inf")
+                else self.worst_interval_s
+            ),
+            "frame_period_s": self.frame_period_s,
+            "input_overruns": self.input_overruns,
+            "reason": self.reason,
+        }
 
     def describe(self) -> str:
         status = "MEETS" if self.meets else "MISSES"

@@ -4,7 +4,7 @@ from .align import align_application
 from .buffering import insert_buffers
 from .compile import CompiledApp, CompileOptions, compile_application
 from .multiplex import Mapping, map_greedy, map_one_to_one
-from .rate_search import RateSearchResult, find_max_rate
+from .rate_search import ProbeCache, RateSearchResult, find_max_rate
 from .reuse import (
     ReusePlan,
     minimum_output_buffer_words,
@@ -25,6 +25,7 @@ __all__ = [
     "Mapping",
     "map_greedy",
     "map_one_to_one",
+    "ProbeCache",
     "RateSearchResult",
     "find_max_rate",
     "ParallelizationReport",

@@ -58,7 +58,16 @@ class CompileOptions:
 
 @dataclass(slots=True)
 class CompiledApp:
-    """A fully compiled application ready for simulation."""
+    """A fully compiled application ready for simulation.
+
+    Picklable by design — ``repro.explore`` ships compiled artifacts
+    across :class:`~concurrent.futures.ProcessPoolExecutor` boundaries.
+    The one constraint that imposes: procedural input patterns attached
+    to :class:`~repro.kernels.ApplicationInput` must be module-level
+    callables or callable-class instances, never closures or lambdas
+    (see ``apps/bayer_app.py`` for the idiom).  The test suite pickles
+    every benchmark's compiled form to keep this true.
+    """
 
     source: ApplicationGraph
     graph: ApplicationGraph

@@ -1,0 +1,129 @@
+"""Failure-path tests for the sweep executor.
+
+Injected hangs, crashes, and flaky errors exercise the fault isolation
+that makes long sweeps safe: a bad design point must cost exactly its own
+budget and produce exactly one terminal record, never wedge the sweep or
+take neighbouring jobs down with it.
+"""
+
+import time
+
+from repro.explore import (
+    EventLog,
+    Job,
+    JobFailed,
+    JobFinished,
+    JobRetried,
+    SweepOptions,
+    run_sweep,
+)
+
+GOOD = {"width": 16, "height": 12, "rate_hz": 50.0}
+
+
+def job(inject=None, timeout_s=300.0):
+    return Job.from_dict({
+        "sweep": "faults",
+        "app": "image_pipeline",
+        "params": GOOD,
+        "frames": 2,
+        "timeout_s": timeout_s,
+        "inject": inject or {},
+    })
+
+
+def terminal_kinds(result):
+    out = []
+    for record in result.records:
+        if record["kind"] == "result":
+            out.append(("result", record["attempts"]))
+        else:
+            out.append((record["failure"]["kind"], record["attempts"]))
+    return out
+
+
+class TestPooledFailures:
+    def test_mixed_sweep_one_terminal_record_per_job(self, tmp_path):
+        """A hang, a crash, and a flaky job ride alongside healthy ones;
+        every job still gets exactly one terminal record."""
+        jobs = [
+            job(),
+            job(inject={"mode": "hang", "sleep_s": 60.0}, timeout_s=1.5),
+            job(inject={"mode": "crash"}),
+            job(inject={"mode": "flaky", "fail_times": 1,
+                        "marker_dir": str(tmp_path / "markers")}),
+            job(inject={"mode": "error", "message": "boom"}),
+        ]
+        log = EventLog()
+        started = time.monotonic()
+        result = run_sweep(jobs, options=SweepOptions(
+            workers=2, retries=2, backoff_s=0.05, tick_s=0.02,
+        ), on_event=log)
+        elapsed = time.monotonic() - started
+
+        assert len(result.records) == len(jobs)
+        kinds = terminal_kinds(result)
+        assert kinds[0] == ("result", 1)
+        assert kinds[1] == ("timeout", 1)   # terminal on first hang
+        assert kinds[2] == ("crash", 3)     # retried, then terminal
+        assert kinds[3] == ("result", 2)    # flaky: failed once, then ok
+        assert kinds[4] == ("error", 3)     # deterministic raise, retried
+        assert result.succeeded == 2
+        assert result.failed == 3
+
+        # Exactly one terminal event per job, and the sweep didn't wait
+        # for the injected 60s sleep.
+        terminals = log.of_type(JobFinished) + log.of_type(JobFailed)
+        assert len(terminals) == len(jobs)
+        assert elapsed < 30.0
+
+        report = result.report()
+        assert {f["kind"] for f in report.as_dict()["failures"]} == \
+            {"timeout", "crash", "error"}
+
+    def test_timeout_is_retried_when_opted_in(self):
+        jobs = [job(inject={"mode": "hang", "sleep_s": 60.0}, timeout_s=0.8)]
+        log = EventLog()
+        result = run_sweep(jobs, options=SweepOptions(
+            workers=1, retries=1, backoff_s=0.05, tick_s=0.02,
+            retry_timeouts=True,
+        ), on_event=log)
+        assert terminal_kinds(result) == [("timeout", 2)]
+        retried = log.of_type(JobRetried)
+        assert len(retried) == 1
+        assert "timeout" in retried[0].reason
+
+
+class TestSerialFailures:
+    def test_error_retries_then_fails(self):
+        result = run_sweep(
+            [job(inject={"mode": "error", "message": "boom"})],
+            options=SweepOptions(workers=0, retries=1, backoff_s=0.01),
+        )
+        assert terminal_kinds(result) == [("error", 2)]
+        failure = result.records[0]["failure"]
+        assert "boom" in failure["message"]
+
+    def test_flaky_succeeds_on_second_attempt(self, tmp_path):
+        log = EventLog()
+        result = run_sweep(
+            [job(inject={"mode": "flaky", "fail_times": 1,
+                         "marker_dir": str(tmp_path / "markers")})],
+            options=SweepOptions(workers=0, retries=2, backoff_s=0.01),
+            on_event=log,
+        )
+        assert terminal_kinds(result) == [("result", 2)]
+        assert len(log.of_type(JobRetried)) == 1
+
+    def test_compile_error_is_not_retried(self):
+        # An impossible rate is a deterministic compile failure; retrying
+        # it would only burn the budget again.
+        impossible = Job.from_dict({
+            "sweep": "faults",
+            "app": "image_pipeline",
+            "params": {"width": 16, "height": 12, "rate_hz": 1e7},
+            "frames": 2,
+        })
+        result = run_sweep([impossible],
+                           options=SweepOptions(workers=0, retries=2))
+        assert terminal_kinds(result) == [("compile-error", 1)]
