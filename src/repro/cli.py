@@ -23,6 +23,7 @@ import argparse
 import json
 import statistics
 import sys
+import time
 
 from .apps import BENCHMARK_PROCESSOR, benchmark, benchmark_suite
 from .graph.dot import to_dot
@@ -71,13 +72,23 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     bench, compiled = _compile(args.key, args)
+    sim_started = time.perf_counter()
     result = simulate(compiled, SimulationOptions(frames=args.frames))
+    sim_elapsed = time.perf_counter() - sim_started
     verdict = result.verdict(
         bench.output, rate_hz=bench.rate_hz,
         chunks_per_frame=bench.chunks_per_frame, frames=args.frames,
     )
+    bench_stats = {
+        "wall_s": sim_elapsed,
+        "events": result.events_processed,
+        "events_per_s": (
+            result.events_processed / sim_elapsed if sim_elapsed > 0 else 0.0
+        ),
+        "peak_heap": result.peak_heap,
+    }
     if args.json:
-        print(json.dumps({
+        payload = {
             "benchmark": bench.key,
             "rate_hz": bench.rate_hz,
             "frames": args.frames,
@@ -85,11 +96,22 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             "kernel_count": compiled.kernel_count(),
             "verdict": verdict.as_dict(),
             "utilization": result.utilization.as_dict(),
-        }, indent=2))
+        }
+        if args.bench:
+            payload["bench"] = bench_stats
+        print(json.dumps(payload, indent=2))
     else:
         print(verdict.describe())
         print()
         print(result.utilization.describe())
+        if args.bench:
+            print()
+            print(
+                f"bench: {sim_elapsed * 1e3:.1f} ms wall, "
+                f"{bench_stats['events']} events, "
+                f"{bench_stats['events_per_s']:,.0f} events/s, "
+                f"peak heap {bench_stats['peak_heap']}"
+            )
     return 0 if verdict.meets else 1
 
 
@@ -267,6 +289,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--frames", type=int, default=4)
     p.add_argument("--json", action="store_true",
                    help="machine-readable output")
+    p.add_argument("--bench", action="store_true",
+                   help="print simulator timing (wall, events/s, peak heap)")
 
     p = sub.add_parser("dot", help="export a benchmark graph as Graphviz dot")
     p.add_argument("key")

@@ -168,7 +168,9 @@ def execute_job(job: Job) -> dict[str, Any]:
     compiled = compile_application(
         app, job.build_processor(), job.build_options()
     )
+    sim_started = time.perf_counter()
     result = simulate(compiled, SimulationOptions(frames=job.frames))
+    sim_elapsed = time.perf_counter() - sim_started
     output, chunks_per_frame, rate_hz = job.measurement()
     verdict = result.verdict(
         output, rate_hz=rate_hz, chunks_per_frame=chunks_per_frame,
@@ -189,6 +191,13 @@ def execute_job(job: Job) -> dict[str, Any]:
         "frames": job.frames,
         "makespan_s": result.makespan_s,
         "elapsed_s": time.perf_counter() - started,
+        # Simulator throughput, the BENCH_sim.json trajectory metric:
+        # sweeps dominated by simulation surface regressions here first.
+        "events": result.events_processed,
+        "sim_elapsed_s": sim_elapsed,
+        "events_per_s": (
+            result.events_processed / sim_elapsed if sim_elapsed > 0 else 0.0
+        ),
     }
 
 

@@ -184,6 +184,8 @@ class Kernel:
         #: Per-method end-of-line counters for token forwarding translation.
         self._eol_seen: dict[str, int] = {}
         self._ctx: FiringContext | None = None
+        #: name -> (h, w) expected chunk shape, filled on first write.
+        self._out_shapes: dict[str, tuple[int, int]] = {}
         self.configure()
         self._check_configuration()
 
@@ -655,21 +657,25 @@ class Kernel:
         checked here so a misbehaving kernel fails at the producing site.
         Arrays are row-major ``(h, w)`` as is idiomatic for numpy images.
         """
-        if self._ctx is None:
+        ctx = self._ctx
+        if ctx is None:
             raise FiringError(f"{self._name}: write_output outside a firing")
-        spec = self.output_spec(name)
+        shape = self._out_shapes.get(name)
+        if shape is None:
+            spec = self.output_spec(name)  # raises PortError when unknown
+            shape = self._out_shapes[name] = (spec.window.h, spec.window.w)
         arr = np.asarray(data, dtype=np.float64)
-        if arr.shape != (spec.window.h, spec.window.w):
+        if arr.shape != shape:
             raise FiringError(
                 f"{self._name}: output {name!r} expects shape "
-                f"{(spec.window.h, spec.window.w)}, got {arr.shape}"
+                f"{shape}, got {arr.shape}"
             )
-        if name not in self._ctx.method.outputs:
+        if name not in ctx.method.outputs:
             raise FiringError(
-                f"{self._name}: method {self._ctx.method.name!r} is not "
+                f"{self._name}: method {ctx.method.name!r} is not "
                 f"registered to write output {name!r}"
             )
-        self._ctx.writes.append((name, arr))
+        ctx.writes.append((name, arr))
 
     def charge_cycles(self, cycles: float) -> None:
         """Report this firing's data-dependent cycle cost (Section VII).

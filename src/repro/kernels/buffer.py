@@ -151,14 +151,20 @@ class BufferKernel(Kernel):
                 f"{self.name}: received more data than the declared "
                 f"{self.region_w}x{self.region_h} region"
             )
-        for dy in range(ch):
-            row = (self._y + dy) % self.storage_rows
-            self._store[row, self._x : self._x + cw] = chunk[dy]
         # Emit every window whose bottom-right element just arrived.  Chunks
         # arrive in scan order, so completion is a per-row watermark.
-        for dy in range(ch):
-            y = self._y + dy
-            self._emit_completed(y, self._x, self._x + cw - 1)
+        if ch == 1:
+            # Scan-order elements and row chunks land here.
+            self._store[self._y % self.storage_rows,
+                        self._x : self._x + cw] = chunk[0]
+            self._emit_completed(self._y, self._x, self._x + cw - 1)
+        else:
+            for dy in range(ch):
+                row = (self._y + dy) % self.storage_rows
+                self._store[row, self._x : self._x + cw] = chunk[dy]
+            for dy in range(ch):
+                y = self._y + dy
+                self._emit_completed(y, self._x, self._x + cw - 1)
         self._x += cw
         if self._x >= self.region_w:
             self._x = 0
@@ -176,10 +182,18 @@ class BufferKernel(Kernel):
         if last < first:
             return
         start = first + (-first) % self.step_x
-        for px in range(start, last + 1, self.step_x):
+        r0 = py % self.storage_rows
+        if r0 + h <= self.storage_rows:
+            # Common case: the window's rows are physically contiguous in
+            # the circular store, so one basic-slice view serves every
+            # window of this row (copied per emission below).
+            block = self._store[r0 : r0 + h]
+        else:
             rows = [(py + dy) % self.storage_rows for dy in range(h)]
-            window = self._store[rows, px : px + w]
-            self.write_output("out", window.copy())
+            block = self._store[rows]
+        write = self.write_output
+        for px in range(start, last + 1, self.step_x):
+            write("out", block[:, px : px + w].copy())
 
     def end_frame(self) -> None:
         """End-of-frame: rewind the fill position for the next frame."""

@@ -1,6 +1,13 @@
-"""Timing-accurate functional simulator and untimed golden executor."""
+"""Timing-accurate functional simulator and untimed golden executor.
+
+Two interchangeable event loops live here: the optimized hot path
+(:mod:`.simulator`) and the frozen seed implementation
+(:mod:`.reference`), which the conformance suite proves observably
+identical and the benchmark suite measures speedups against.
+"""
 
 from .functional import FunctionalResult, run_functional
+from .reference import ReferenceSimulator, reference_simulate
 from .runtime import Channel, RuntimeKernel, build_runtime
 from .simulator import (
     BudgetOverrun,
@@ -10,7 +17,13 @@ from .simulator import (
     simulate,
 )
 from .stats import ProcessorStats, RealTimeVerdict, UtilizationSummary
-from .trace import TraceEvent, busy_time_by_processor, gantt
+from .trace import (
+    TraceEvent,
+    busy_time_by_processor,
+    event_as_dict,
+    gantt,
+    trace_digest,
+)
 
 __all__ = [
     "FunctionalResult",
@@ -23,10 +36,14 @@ __all__ = [
     "SimulationResult",
     "Simulator",
     "simulate",
+    "ReferenceSimulator",
+    "reference_simulate",
     "ProcessorStats",
     "RealTimeVerdict",
     "UtilizationSummary",
     "TraceEvent",
     "busy_time_by_processor",
+    "event_as_dict",
     "gantt",
+    "trace_digest",
 ]

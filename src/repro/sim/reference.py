@@ -1,0 +1,502 @@
+"""The seed (pre-optimization) simulator event loop, kept verbatim.
+
+This module preserves the original ``Simulator.run`` exactly as it
+shipped before the hot-path overhaul: application inputs pre-push one
+``_DELIVER`` heap event per element (``frames x H x W`` tuples up
+front), every event pays dict lookups against the runtime tables, and
+per-processor statistics accumulate through ``ProcessorStats`` objects.
+
+It exists for two reasons:
+
+* **differential conformance** — ``tests/test_sim_conformance.py`` runs
+  both simulators on the Figure 13 applications and asserts the
+  optimized loop is observably identical (stats, output times,
+  violations, trace sequence, event counts);
+* **benchmark baseline** — ``benchmarks/test_sim_hotpath.py`` measures
+  the optimized loop's speedup against this one on the same machine and
+  records both sides in ``BENCH_sim.json``.
+
+Do not optimize this file; it is the fixed point the fast path is
+measured and verified against.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+
+import numpy as np
+
+from ..errors import FiringError, SimulationError
+from ..kernels.sources import ApplicationInput, ApplicationOutput, ConstantSource
+from ..tokens import ControlToken
+from ..transform.compile import CompiledApp
+from .functional import source_items
+from .runtime import (
+    FORWARD_CYCLES,
+    Firing,
+    FiringResult,
+    RuntimeKernel,
+    build_runtime,
+)
+from .simulator import (
+    _DELIVER,
+    _FINISH,
+    _POLL,
+    BudgetOverrun,
+    SimulationOptions,
+    SimulationResult,
+    _Violation,
+)
+from .stats import ProcessorStats, UtilizationSummary
+from .trace import TraceEvent
+
+__all__ = ["ReferenceSimulator", "reference_simulate"]
+
+
+# ---------------------------------------------------------------------------
+# Seed firing rules, copied verbatim from the pre-optimization
+# RuntimeKernel.ready_firing/execute so the baseline does not inherit the
+# runtime-table caches added by the hot-path overhaul.  Operating on the
+# same RuntimeKernel instances keeps the two loops bit-comparable while
+# exercising fully independent dispatch code.
+
+
+def _seed_ready_firing(rk: RuntimeKernel) -> Firing | None:
+    best: Firing | None = None
+    best_seq = -1
+    for port in rk._ports:
+        channel = rk.inputs.get(port)
+        if channel is None or not channel.items:
+            continue
+        head = channel.head()
+        if isinstance(head, ControlToken):
+            firing = _seed_token_firing(rk, port, head)
+        else:
+            firing = _seed_data_firing(rk, port)
+        if firing is None:
+            continue
+        seq = min(
+            rk.inputs[p].head_seq()
+            for p in firing.consume_ports
+            if p in rk.inputs and rk.inputs[p].items
+        )
+        if best is None or seq < best_seq:
+            best, best_seq = firing, seq
+    return best
+
+
+def _seed_token_firing(rk: RuntimeKernel, port: str, token) -> Firing | None:
+    if port in rk._transparent:
+        return Firing(kind="forward", method=None, consume_ports=(port,),
+                      token=token)
+    handler = rk.kernel.token_method_for(port, type(token))
+    if handler is not None:
+        return Firing(
+            kind="token", method=handler, consume_ports=(port,), token=token
+        )
+    method = rk._data_method[port]
+    if method is None:
+        return Firing(kind="forward", method=None, consume_ports=(port,),
+                      token=token)
+    for other in method.data_inputs:
+        if other in rk._transparent:
+            continue
+        head = rk.inputs[other].head() if other in rk.inputs else None
+        if not (
+            isinstance(head, ControlToken)
+            and type(head) is type(token)
+            and head.frame == token.frame
+        ):
+            return None
+    opaque = tuple(
+        p for p in method.data_inputs if p not in rk._transparent
+    )
+    return Firing(
+        kind="forward",
+        method=method,
+        consume_ports=opaque,
+        token=token,
+    )
+
+
+def _seed_data_firing(rk: RuntimeKernel, port: str) -> Firing | None:
+    method = rk._data_method[port]
+    if method is None:
+        raise FiringError(
+            f"{rk.name}: data arrived on {port!r} which triggers no "
+            "data method"
+        )
+    if method.selector is not None:
+        selected = getattr(rk.kernel, method.selector)()
+        if selected != port:
+            return None
+        return Firing(kind="method", method=method, consume_ports=(port,))
+    for other in method.data_inputs:
+        head = rk.inputs[other].head() if other in rk.inputs else None
+        if head is None or isinstance(head, ControlToken):
+            return None
+    return Firing(kind="method", method=method,
+                  consume_ports=method.data_inputs)
+
+
+def _seed_execute(rk: RuntimeKernel, firing: Firing) -> FiringResult:
+    from ..graph.kernel import FiringContext
+
+    rk.firings += 1
+    if firing.kind == "forward":
+        return _seed_execute_forward(rk, firing)
+
+    method = firing.method
+    assert method is not None
+    consumed: dict[str, np.ndarray] = {}
+    token = None
+    for port in firing.consume_ports:
+        item = rk.inputs[port].pop()
+        if isinstance(item, ControlToken):
+            token = item
+        else:
+            consumed[port] = item
+    ctx = FiringContext(method=method, inputs=consumed, token=token)
+    rk.kernel.bind_context(ctx)
+    try:
+        getattr(rk.kernel, method.name)()
+    finally:
+        ctx = rk.kernel.release_context()
+
+    emissions = list(ctx.writes)
+    emissions.extend(ctx.token_writes)
+    if (
+        firing.kind == "token"
+        and token is not None
+        and rk.kernel.forwards_token(method)
+    ):
+        for out in method.outputs:
+            emissions.append((out, token))
+    if rk.kernel.charges_element_io:
+        elements_read = ctx.elements_read
+        elements_written = ctx.elements_written
+        if (
+            rk.kernel.sequential_input_reuse
+            and firing.kind == "method"
+            and len(consumed) == 1
+        ):
+            port = next(iter(consumed))
+            spec = rk.kernel.input_spec(port)
+            fresh = spec.step.x * spec.window.h
+            elements_read = min(elements_read, fresh)
+    else:
+        elements_read = len(consumed)
+        elements_written = len(ctx.writes)
+    if ctx.dynamic_cycles is not None:
+        cycles = ctx.dynamic_cycles
+        dynamic = True
+    else:
+        cycles = method.cost.cycles
+        dynamic = False
+    return FiringResult(
+        kernel=rk.name,
+        label=method.name,
+        cycles=cycles,
+        elements_read=elements_read,
+        elements_written=elements_written,
+        emissions=emissions,
+        declared_cycles=method.cost.cycles,
+        dynamic=dynamic,
+    )
+
+
+def _seed_execute_forward(rk: RuntimeKernel, firing: Firing) -> FiringResult:
+    token = firing.token
+    assert token is not None
+    for port in firing.consume_ports:
+        popped = rk.inputs[port].pop()
+        assert isinstance(popped, ControlToken)
+    emissions: list = []
+    if firing.method is not None:
+        if rk.kernel.should_forward_token(firing.method, token):
+            for out in firing.method.outputs:
+                emissions.append((out, token))
+        rk.kernel.on_token_forwarded(firing.method, token)
+    return FiringResult(
+        kernel=rk.name,
+        label="<forward>",
+        cycles=FORWARD_CYCLES,
+        elements_read=0,
+        elements_written=0,
+        emissions=emissions,
+    )
+
+
+class ReferenceSimulator:
+    """The seed discrete-event loop, preserved for differential testing."""
+
+    def __init__(self, graph, mapping, processor, options=None) -> None:
+        self.graph = graph
+        self.mapping = mapping
+        self.processor = processor
+        self.options = options if options is not None else SimulationOptions()
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        runtimes, channels = build_runtime(self.graph)
+        opts = self.options
+        events: list = []
+        seq = itertools.count()
+        peak_heap = 0
+
+        proc_of: dict[str, int | None] = {
+            name: self.mapping.processor_of(name) for name in self.graph.kernels
+        }
+        proc_stats: dict[int, ProcessorStats] = {}
+        proc_free_at: dict[int, float] = {}
+        proc_pending: dict[int, deque] = {}
+        for name, proc in proc_of.items():
+            if proc is None:
+                continue
+            proc_stats.setdefault(proc, ProcessorStats(index=proc))
+            proc_stats[proc].kernels.add(name)
+            proc_free_at.setdefault(proc, 0.0)
+            proc_pending.setdefault(proc, deque())
+        kernel_running: dict[str, bool] = {name: False for name in runtimes}
+
+        input_channels = {
+            id(ch)
+            for ch in channels
+            if isinstance(runtimes[ch.src].kernel, ApplicationInput)
+        }
+        overrides = opts.channel_capacity_overrides or {}
+        for ch in channels:
+            key = (ch.src, ch.src_port, ch.dst, ch.dst_port)
+            if key in overrides:
+                ch.capacity = overrides[key]
+            elif (opts.channel_capacity is not None
+                  and id(ch) not in input_channels):
+                ch.capacity = opts.channel_capacity
+        violations: list[_Violation] = []
+        trace: list[TraceEvent] = []
+        budget_overruns: list[BudgetOverrun] = []
+        output_times: dict[str, list[float]] = {
+            name: []
+            for name, rk in runtimes.items()
+            if isinstance(rk.kernel, ApplicationOutput)
+        }
+
+        queued_polls: dict[str, float] = {}
+
+        def push(time: float, kind: int, payload) -> None:
+            nonlocal peak_heap
+            if kind == _POLL:
+                if queued_polls.get(payload) == time:
+                    return
+                queued_polls[payload] = time
+            heapq.heappush(events, (time, kind, next(seq), payload))
+            if len(events) > peak_heap:
+                peak_heap = len(events)
+
+        def deliver(time: float, rk_src: RuntimeKernel, port: str, item) -> None:
+            for ch in rk_src.outputs.get(port, ()):
+                ch.push(item)
+                if (
+                    id(ch) in input_channels
+                    and len(ch.items) > opts.input_channel_capacity
+                ):
+                    violations.append(
+                        _Violation(
+                            time=time,
+                            where=f"{ch.src}->{ch.dst}.{ch.dst_port}",
+                            detail="input overran its consumer",
+                        )
+                    )
+                push(time, _POLL, ch.dst)
+
+        # --- startup: init methods, then source schedules ---------------
+        for name, rk in runtimes.items():
+            for result in rk.run_init():
+                for port, item in result.emissions:
+                    deliver(0.0, rk, port, item)
+
+        horizon = 0.0
+        for name, rk in runtimes.items():
+            if isinstance(rk.kernel, ConstantSource):
+                push(0.0, _DELIVER, (name, "out", rk.kernel.values.copy()))
+        for name, rk in runtimes.items():
+            kernel = rk.kernel
+            if isinstance(kernel, ApplicationInput):
+                period = kernel.element_period
+                t = 0.0
+                for item in source_items(kernel, opts.frames):
+                    push(t, _DELIVER, (name, "out", item))
+                    if isinstance(item, np.ndarray):
+                        t += period
+                horizon = max(horizon, opts.frames / kernel.rate_hz)
+
+        # --- main loop ---------------------------------------------------
+        makespan = 0.0
+        processed = 0
+        while events:
+            time, kind, _, payload = heapq.heappop(events)
+            makespan = max(makespan, time)
+            processed += 1
+            if processed > opts.max_events:
+                raise SimulationError(
+                    f"simulation exceeded {opts.max_events} events; "
+                    "the application is likely livelocked"
+                )
+            if kind == _DELIVER:
+                src_name, port, item = payload
+                deliver(time, runtimes[src_name], port, item)
+            elif kind == _POLL:
+                if queued_polls.get(payload) == time:
+                    del queued_polls[payload]
+                self._try_fire(
+                    time, runtimes[payload], runtimes, proc_of, proc_stats,
+                    proc_free_at, proc_pending, kernel_running, push,
+                    output_times, trace, budget_overruns,
+                )
+            else:  # _FINISH
+                kernel_name, result = payload
+                rk = runtimes[kernel_name]
+                kernel_running[kernel_name] = False
+                for port, item in result.emissions:
+                    deliver(time, rk, port, item)
+                proc = proc_of[kernel_name]
+                if proc is not None:
+                    pending = proc_pending[proc]
+                    pending.append(kernel_name)
+                    while pending:
+                        nxt = pending.popleft()
+                        push(time, _POLL, nxt)
+                        break
+                    for other in list(pending):
+                        push(time, _POLL, other)
+                    pending.clear()
+
+        duration = max(makespan, horizon)
+        utilization = UtilizationSummary(
+            duration_s=duration, processors=dict(proc_stats)
+        )
+        outputs = {
+            name: list(rk.kernel.received)
+            for name, rk in runtimes.items()
+            if isinstance(rk.kernel, ApplicationOutput)
+        }
+        return SimulationResult(
+            app=self.graph,
+            options=opts,
+            makespan_s=makespan,
+            utilization=utilization,
+            output_times=output_times,
+            outputs=outputs,
+            violations=violations,
+            channels=channels,
+            firings={name: rk.firings for name, rk in runtimes.items()},
+            trace=trace,
+            budget_overruns=budget_overruns,
+            events_processed=processed,
+            peak_heap=peak_heap,
+        )
+
+    # ------------------------------------------------------------------
+    def _try_fire(
+        self,
+        time: float,
+        rk: RuntimeKernel,
+        runtimes: dict[str, RuntimeKernel],
+        proc_of: dict[str, int | None],
+        proc_stats: dict[int, ProcessorStats],
+        proc_free_at: dict[int, float],
+        proc_pending: dict[int, deque],
+        kernel_running: dict[str, bool],
+        push,
+        output_times: dict[str, list[float]],
+        trace: list[TraceEvent],
+        budget_overruns: list[BudgetOverrun],
+    ) -> None:
+        name = rk.name
+        if kernel_running[name]:
+            return
+        proc = proc_of[name]
+
+        bounded = (
+            self.options.channel_capacity is not None
+            or bool(self.options.channel_capacity_overrides)
+        )
+
+        def wake_producers(firing) -> None:
+            if not bounded:
+                return
+            for port in firing.consume_ports:
+                ch = rk.inputs.get(port)
+                if ch is not None and ch.capacity is not None:
+                    push(time, _POLL, ch.src)
+
+        if proc is None:
+            while True:
+                firing = _seed_ready_firing(rk)
+                if firing is None:
+                    return
+                result = _seed_execute(rk, firing)
+                wake_producers(firing)
+                if isinstance(rk.kernel, ApplicationOutput):
+                    arrivals = [
+                        1 for p in firing.consume_ports
+                    ] if firing.kind == "method" else []
+                    for _ in arrivals:
+                        output_times[name].append(time)
+                for port, item in result.emissions:
+                    for ch in rk.outputs.get(port, ()):
+                        ch.push(item)
+                        push(time, _POLL, ch.dst)
+
+        else:
+            if proc_free_at[proc] > time:
+                if name not in proc_pending[proc]:
+                    proc_pending[proc].append(name)
+                return
+            firing = _seed_ready_firing(rk)
+            if firing is None:
+                return
+            if bounded and not all(
+                ch.space_for(rk.kernel.max_emissions_per_firing)
+                for chans in rk.outputs.values()
+                for ch in chans
+            ):
+                return
+            result = _seed_execute(rk, firing)
+            wake_producers(firing)
+            if result.dynamic and result.cycles > result.declared_cycles:
+                budget_overruns.append(BudgetOverrun(
+                    time=time, kernel=name, method=result.label,
+                    declared_cycles=result.declared_cycles,
+                    actual_cycles=result.cycles,
+                ))
+            read_s, run_s, write_s = self.processor.firing_time(
+                result.cycles, result.elements_read, result.elements_written
+            )
+            duration = read_s + run_s + write_s
+            stats = proc_stats[proc]
+            stats.read_s += read_s
+            stats.run_s += run_s
+            stats.write_s += write_s
+            stats.firings += 1
+            proc_free_at[proc] = time + duration
+            kernel_running[name] = True
+            if self.options.trace:
+                trace.append(TraceEvent(
+                    start_s=time, processor=proc, kernel=name,
+                    method=result.label, read_s=read_s, run_s=run_s,
+                    write_s=write_s,
+                ))
+            push(time + duration, _FINISH, (name, result))
+
+
+def reference_simulate(
+    compiled: CompiledApp, options: SimulationOptions | None = None
+) -> SimulationResult:
+    """Simulate a compiled application with the preserved seed loop."""
+    sim = ReferenceSimulator(
+        compiled.graph, compiled.mapping, compiled.processor, options
+    )
+    return sim.run()

@@ -152,6 +152,7 @@ class RuntimeKernel:
 
     def __init__(self, kernel: Kernel) -> None:
         self.kernel = kernel
+        self.name = kernel.name
         self.inputs: dict[str, Channel] = {}
         self.outputs: dict[str, list[Channel]] = {
             port: [] for port in kernel.outputs
@@ -167,10 +168,52 @@ class RuntimeKernel:
             port for port, spec in kernel.inputs.items()
             if spec.token_transparent
         }
+        # Wiring-dependent caches, built lazily on the first firing probe
+        # (channels are attached after construction): per-port dispatch
+        # plans with pre-built Firing instances, and bound method objects.
+        self._wired: tuple | None = None
+        self._bound: dict[str, object] = {}
 
-    @property
-    def name(self) -> str:
-        return self.kernel.name
+    def _prime(self) -> tuple:
+        """Snapshot the wired inputs into a per-port dispatch plan.
+
+        For each wired input port the plan holds the channel plus how a
+        data chunk at its head fires: a single-input method (fire
+        immediately, reusing one frozen :class:`Firing`), a multi-input
+        method (check the peer channels' heads), or a selector join (ask
+        the FSM).  Ports whose data triggers nothing keep ``None`` so the
+        seed's :class:`FiringError` still fires on arrival.
+        """
+        plan = []
+        for port in self._ports:
+            channel = self.inputs.get(port)
+            if channel is None:
+                continue
+            method = self._data_method[port]
+            if method is None:
+                entry = None
+            elif method.selector is not None:
+                entry = (
+                    "sel",
+                    Firing(kind="method", method=method,
+                           consume_ports=(port,)),
+                    getattr(self.kernel, method.selector),
+                )
+            else:
+                firing = Firing(kind="method", method=method,
+                                consume_ports=method.data_inputs)
+                if len(method.data_inputs) == 1:
+                    entry = ("single", firing, None)
+                else:
+                    entry = (
+                        "multi",
+                        firing,
+                        tuple(self.inputs.get(p)
+                              for p in method.data_inputs),
+                    )
+            plan.append((port, channel, entry))
+        self._wired = wired = tuple(plan)
+        return wired
 
     # ------------------------------------------------------------------
     def run_init(self) -> list[FiringResult]:
@@ -210,24 +253,81 @@ class RuntimeKernel:
         order (a coefficient load injected before the first data element
         runs before the first convolution).
         """
+        wired = self._wired
+        if wired is None:
+            wired = self._prime()
+        if len(wired) == 1:
+            # Single wired input — no cross-port tie-break needed.
+            port, channel, entry = wired[0]
+            items = channel.items
+            if not items:
+                return None
+            head = items[0]
+            if isinstance(head, ControlToken):
+                return self._token_firing(port, head)
+            if entry is None:
+                raise FiringError(
+                    f"{self.name}: data arrived on {port!r} which triggers "
+                    "no data method"
+                )
+            tag = entry[0]
+            if tag == "single":
+                return entry[1]
+            if tag == "multi":
+                for ch in entry[2]:
+                    if ch is None or not ch.items or isinstance(
+                        ch.items[0], ControlToken
+                    ):
+                        return None
+                return entry[1]
+            return entry[1] if entry[2]() == port else None
         best: Firing | None = None
         best_seq = -1
-        for port in self._ports:
-            channel = self.inputs.get(port)
-            if channel is None or not channel.items:
+        for port, channel, entry in wired:
+            items = channel.items
+            if not items:
                 continue
-            head = channel.head()
+            head = items[0]
             if isinstance(head, ControlToken):
                 firing = self._token_firing(port, head)
+                if firing is None:
+                    continue
+                seq = min(
+                    self.inputs[p].head_seq()
+                    for p in firing.consume_ports
+                    if p in self.inputs and self.inputs[p].items
+                )
+            elif entry is None:
+                raise FiringError(
+                    f"{self.name}: data arrived on {port!r} which triggers "
+                    "no data method"
+                )
             else:
-                firing = self._data_firing(port)
-            if firing is None:
-                continue
-            seq = min(
-                self.inputs[p].head_seq()
-                for p in firing.consume_ports
-                if p in self.inputs and self.inputs[p].items
-            )
+                tag = entry[0]
+                if tag == "single":
+                    firing = entry[1]
+                    seq = channel.seqs[0]
+                elif tag == "multi":
+                    peers = entry[2]
+                    ready = True
+                    seq = None
+                    for ch in peers:
+                        if ch is None or not ch.items or isinstance(
+                            ch.items[0], ControlToken
+                        ):
+                            ready = False
+                            break
+                        s = ch.seqs[0]
+                        if seq is None or s < seq:
+                            seq = s
+                    if not ready:
+                        continue
+                    firing = entry[1]
+                else:  # selector join: fire only on the expected input
+                    if entry[2]() != port:
+                        continue
+                    firing = entry[1]
+                    seq = channel.seqs[0]
             if best is None or seq < best_seq:
                 best, best_seq = firing, seq
         return best
@@ -297,63 +397,76 @@ class RuntimeKernel:
 
         method = firing.method
         assert method is not None
+        kernel = self.kernel
+        inputs = self.inputs
         consumed: dict[str, np.ndarray] = {}
         token: ControlToken | None = None
         for port in firing.consume_ports:
-            item = self.inputs[port].pop()
+            channel = inputs[port]
+            channel.seqs.popleft()
+            item = channel.items.popleft()
             if isinstance(item, ControlToken):
                 token = item
             else:
                 consumed[port] = item
-        ctx = FiringContext(method=method, inputs=consumed, token=token)
-        self.kernel.bind_context(ctx)
+        ctx = FiringContext(method, consumed, token)
+        # bind_context/release_context, inlined (two calls per firing).
+        kernel._ctx = ctx
         try:
-            getattr(self.kernel, method.name)()
+            body = self._bound.get(method.name)
+            if body is None:
+                body = getattr(kernel, method.name)
+                self._bound[method.name] = body
+            body()
         finally:
-            ctx = self.kernel.release_context()
+            kernel._ctx = None
 
-        emissions: list[tuple[str, Item]] = list(ctx.writes)
-        emissions.extend(ctx.token_writes)
+        # The context is dead after this call, so its writes list can be
+        # handed out as the emissions list without copying.
+        emissions: list[tuple[str, Item]] = ctx.writes
+        if ctx.token_writes:
+            emissions = emissions + ctx.token_writes
         if (
             firing.kind == "token"
             and token is not None
-            and self.kernel.forwards_token(method)
+            and kernel.forwards_token(method)
         ):
+            if emissions is ctx.writes:
+                emissions = list(emissions)
             for out in method.outputs:
                 emissions.append((out, token))
-        if self.kernel.charges_element_io:
-            elements_read = ctx.elements_read
-            elements_written = ctx.elements_written
+        if kernel.charges_element_io:
+            elements_read = 0
+            for arr in consumed.values():
+                elements_read += arr.size
+            elements_written = 0
+            for _, arr in ctx.writes:
+                elements_written += arr.size
             if (
-                self.kernel.sequential_input_reuse
+                kernel.sequential_input_reuse
                 and firing.kind == "method"
                 and len(consumed) == 1
             ):
                 # Figure 9: consecutive windows from a dedicated buffer —
                 # only the fresh columns of each window are new reads.
                 port = next(iter(consumed))
-                spec = self.kernel.input_spec(port)
+                spec = kernel.input_spec(port)
                 fresh = spec.step.x * spec.window.h
                 elements_read = min(elements_read, fresh)
         else:
             # Routers move chunk descriptors: one access per chunk.
             elements_read = len(consumed)
             elements_written = len(ctx.writes)
+        declared = method.cost.cycles
         if ctx.dynamic_cycles is not None:
             cycles = ctx.dynamic_cycles
             dynamic = True
         else:
-            cycles = method.cost.cycles
+            cycles = declared
             dynamic = False
         return FiringResult(
-            kernel=self.name,
-            label=method.name,
-            cycles=cycles,
-            elements_read=elements_read,
-            elements_written=elements_written,
-            emissions=emissions,
-            declared_cycles=method.cost.cycles,
-            dynamic=dynamic,
+            self.name, method.name, cycles, elements_read,
+            elements_written, emissions, declared, dynamic,
         )
 
     def _execute_forward(self, firing: Firing) -> FiringResult:

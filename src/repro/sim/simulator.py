@@ -20,15 +20,37 @@ Model
   round-robin fairness — time multiplexing (Section V).
 * Boundary kernels (inputs, constant sources, outputs) model off-chip I/O
   and execute without occupying a processing element.
+
+Hot path
+--------
+The event loop is engineered to be observably identical to the seed
+implementation preserved in :mod:`repro.sim.reference` while doing far
+less interpreter work per event:
+
+* source traffic is injected **lazily** — each input keeps one cursor
+  event on the heap instead of pre-pushing ``frames x H x W`` delivery
+  tuples, and all of a source's same-timestamp items drain in one
+  dispatch (they are contiguous in the seed's ordering, so batching
+  cannot reorder anything);
+* per-kernel state (processor, output channel fan-out, overrun checks,
+  backpressure wake lists) is resolved **once** into slotted records
+  before the loop, eliminating the per-event dict lookups;
+* per-processor statistics accumulate in plain slotted attributes and
+  only become :class:`~repro.sim.stats.ProcessorStats` after the loop;
+* trace recording is a branch on a precomputed local when disabled.
+
+``tests/test_sim_conformance.py`` holds this equivalence to golden
+fixtures recorded from the reference loop; see ``docs/performance.md``.
 """
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Iterator, Mapping
 
 import numpy as np
 
@@ -36,12 +58,13 @@ from ..errors import SimulationError
 from ..graph.app import ApplicationGraph
 from ..kernels.sources import ApplicationInput, ApplicationOutput, ConstantSource
 from ..machine.processor import ProcessorSpec
+from ..tokens import ControlToken
 from ..transform.compile import CompiledApp
 from ..transform.multiplex import Mapping as KernelMapping
 from .functional import source_items
-from .runtime import Channel, RuntimeKernel, build_runtime
+from .runtime import Channel, Item, RuntimeKernel, build_runtime
 from .stats import ProcessorStats, RealTimeVerdict, UtilizationSummary
-from .trace import TraceEvent
+from .trace import TraceEvent, trace_digest
 
 __all__ = ["BudgetOverrun", "SimulationOptions", "SimulationResult",
            "Simulator", "simulate"]
@@ -105,6 +128,16 @@ class BudgetOverrun:
                 if self.declared_cycles > 0 else float("inf"))
 
 
+def _digest_arrays(arrays) -> str:
+    """A stable content hash over a sequence of ndarrays (shape + bytes)."""
+    h = hashlib.sha256()
+    for arr in arrays:
+        a = np.ascontiguousarray(arr, dtype=np.float64)
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
 @dataclass(slots=True)
 class SimulationResult:
     """Everything a benchmark harness needs from one simulation."""
@@ -124,6 +157,14 @@ class SimulationResult:
     trace: list[TraceEvent] = field(default_factory=list)
     #: Runtime budget exceptions from variable-work kernels (Sec VII).
     budget_overruns: list[BudgetOverrun] = field(default_factory=list)
+    #: Logical events processed: one per delivered item, poll, and firing
+    #: completion.  Identical between the fast and reference loops, which
+    #: the conformance suite asserts; the benchmark suite divides it by
+    #: wall time for the events/sec trajectory.
+    events_processed: int = 0
+    #: High-water mark of the event heap (perf counter, not an observable
+    #: of the simulated schedule; excluded from :meth:`as_dict`).
+    peak_heap: int = 0
 
     def frame_completions(self, output: str, chunks_per_frame: int) -> list[float]:
         """Completion time of each full frame at ``output``."""
@@ -132,6 +173,56 @@ class SimulationResult:
             times[i]
             for i in range(chunks_per_frame - 1, len(times), chunks_per_frame)
         ]
+
+    def as_dict(self) -> dict:
+        """Canonical, JSON-safe view of everything the simulation observed.
+
+        This is the conformance surface: two simulator implementations
+        are considered identical when their ``as_dict()`` match exactly.
+        Bulk payloads (received chunks, the trace) appear as counts plus
+        content digests so golden fixtures stay reviewable; wall-clock
+        perf counters (``peak_heap``) are deliberately excluded.
+        """
+        return {
+            "makespan_s": self.makespan_s,
+            "events": self.events_processed,
+            "utilization": self.utilization.as_dict(),
+            "output_times": {
+                name: list(times) for name, times in self.output_times.items()
+            },
+            "outputs": {
+                name: {"count": len(chunks), "sha256": _digest_arrays(chunks)}
+                for name, chunks in self.outputs.items()
+            },
+            "violations": [
+                {"time": v.time, "where": v.where, "detail": v.detail}
+                for v in self.violations
+            ],
+            "channels": [
+                {
+                    "src": ch.src, "src_port": ch.src_port,
+                    "dst": ch.dst, "dst_port": ch.dst_port,
+                    "capacity": ch.capacity,
+                    "max_occupancy": ch.max_occupancy,
+                    "total_data": ch.total_data,
+                    "total_tokens": ch.total_tokens,
+                }
+                for ch in self.channels
+            ],
+            "firings": dict(self.firings),
+            "budget_overruns": [
+                {
+                    "time": b.time, "kernel": b.kernel, "method": b.method,
+                    "declared_cycles": b.declared_cycles,
+                    "actual_cycles": b.actual_cycles,
+                }
+                for b in self.budget_overruns
+            ],
+            "trace": {
+                "events": len(self.trace),
+                "sha256": trace_digest(self.trace),
+            },
+        }
 
     def verdict(
         self,
@@ -188,6 +279,71 @@ class SimulationResult:
 _DELIVER, _FINISH, _POLL = 0, 1, 2
 
 
+class _ProcState:
+    """Mutable per-processor record resolved once before the event loop."""
+
+    __slots__ = ("index", "free_at", "pending", "read_s", "run_s", "write_s",
+                 "firings", "kernels")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.free_at = 0.0
+        self.pending: deque = deque()
+        self.read_s = 0.0
+        self.run_s = 0.0
+        self.write_s = 0.0
+        self.firings = 0
+        self.kernels: set[str] = set()
+
+    def to_stats(self) -> ProcessorStats:
+        return ProcessorStats(
+            index=self.index, read_s=self.read_s, run_s=self.run_s,
+            write_s=self.write_s, firings=self.firings, kernels=self.kernels,
+        )
+
+
+class _KernelState:
+    """Per-kernel hot-loop record: everything the event loop needs without
+    touching the runtime tables again."""
+
+    __slots__ = ("rk", "name", "proc", "running", "out", "wake",
+                 "out_channels", "max_emissions", "is_output", "output_times",
+                 "ready", "execute")
+
+    def __init__(self, rk: RuntimeKernel, proc: _ProcState | None) -> None:
+        self.rk = rk
+        self.name = rk.name
+        self.ready = rk.ready_firing
+        self.execute = rk.execute
+        self.proc = proc
+        self.running = False
+        #: port -> tuple of (channel, consumer state, overrun-checked?).
+        self.out: dict[str, tuple] = {}
+        #: port -> producer state, for backpressure wake-ups (bounded runs).
+        self.wake: dict[str, "_KernelState"] = {}
+        self.out_channels: tuple[Channel, ...] = ()
+        self.max_emissions = rk.kernel.max_emissions_per_firing
+        self.is_output = isinstance(rk.kernel, ApplicationOutput)
+        self.output_times: list[float] = []
+
+
+def _timed_source_items(
+    kernel: ApplicationInput, frames: int
+) -> Iterator[tuple[float, Item]]:
+    """(time, item) schedule of one application input.
+
+    Reproduces the seed's accumulation exactly: tokens share the
+    timestamp of the element that follows them, and element times are the
+    running float sum of the period (not ``i * period``).
+    """
+    period = kernel.element_period
+    t = 0.0
+    for item in source_items(kernel, frames):
+        yield t, item
+        if isinstance(item, np.ndarray):
+            t += period
+
+
 class Simulator:
     """Discrete-event simulator for a compiled application."""
 
@@ -196,35 +352,21 @@ class Simulator:
         graph: ApplicationGraph,
         mapping: KernelMapping,
         processor: ProcessorSpec,
-        options: SimulationOptions = SimulationOptions(),
+        options: SimulationOptions | None = None,
     ) -> None:
         self.graph = graph
         self.mapping = mapping
         self.processor = processor
-        self.options = options
+        # A fresh instance per simulator: a shared module-level default
+        # would be one unfreeze away from cross-run option bleed.
+        self.options = options if options is not None else SimulationOptions()
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         runtimes, channels = build_runtime(self.graph)
         opts = self.options
-        events: list = []
-        seq = itertools.count()
 
-        proc_of: dict[str, int | None] = {
-            name: self.mapping.processor_of(name) for name in self.graph.kernels
-        }
-        proc_stats: dict[int, ProcessorStats] = {}
-        proc_free_at: dict[int, float] = {}
-        proc_pending: dict[int, deque] = {}
-        for name, proc in proc_of.items():
-            if proc is None:
-                continue
-            proc_stats.setdefault(proc, ProcessorStats(index=proc))
-            proc_stats[proc].kernels.add(name)
-            proc_free_at.setdefault(proc, 0.0)
-            proc_pending.setdefault(proc, deque())
-        kernel_running: dict[str, bool] = {name: False for name in runtimes}
-
+        # --- channel capacities (overrides beat the blanket setting) ----
         input_channels = {
             id(ch)
             for ch in channels
@@ -240,34 +382,74 @@ class Simulator:
                 # Input-fed channels stay unbounded: the input cannot be
                 # stalled, overrun detection covers them instead.
                 ch.capacity = opts.channel_capacity
+
+        # --- per-kernel / per-processor state, resolved once ------------
+        proc_states: dict[int, _ProcState] = {}
+        states: dict[str, _KernelState] = {}
+        for name, rk in runtimes.items():
+            proc = self.mapping.processor_of(name)
+            pstate = None
+            if proc is not None:
+                pstate = proc_states.get(proc)
+                if pstate is None:
+                    pstate = proc_states[proc] = _ProcState(proc)
+                pstate.kernels.add(name)
+            states[name] = _KernelState(rk, pstate)
+        for name, rk in runtimes.items():
+            st = states[name]
+            out: dict[str, tuple] = {}
+            flat: list[Channel] = []
+            for port, chans in rk.outputs.items():
+                out[port] = tuple(
+                    (ch, states[ch.dst], id(ch) in input_channels)
+                    for ch in chans
+                )
+                flat.extend(chans)
+            st.out = out
+            st.out_channels = tuple(flat)
+            st.wake = {
+                port: states[ch.src]
+                for port, ch in rk.inputs.items()
+                if ch.capacity is not None
+            }
+
         violations: list[_Violation] = []
         trace: list[TraceEvent] = []
+        trace_on = opts.trace
         budget_overruns: list[BudgetOverrun] = []
-        output_times: dict[str, list[float]] = {
-            name: []
-            for name, rk in runtimes.items()
-            if isinstance(rk.kernel, ApplicationOutput)
-        }
+
+        events: list = []
+        seq = itertools.count()
+        next_seq = seq.__next__
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        peak_heap = 0
 
         # Deliveries at a timestamp always process before polls at that
         # timestamp (event-kind ordering), so one queued poll per kernel
         # per timestamp observes everything — duplicates are pure waste.
-        queued_polls: dict[str, float] = {}
+        queued_polls: dict[_KernelState, float] = {}
 
-        def push(time: float, kind: int, payload) -> None:
-            if kind == _POLL:
-                if queued_polls.get(payload) == time:
-                    return
-                queued_polls[payload] = time
-            heapq.heappush(events, (time, kind, next(seq), payload))
+        input_cap = opts.input_channel_capacity
 
-        def deliver(time: float, rk_src: RuntimeKernel, port: str, item) -> None:
-            for ch in rk_src.outputs.get(port, ()):
-                ch.push(item)
-                if (
-                    id(ch) in input_channels
-                    and len(ch.items) > opts.input_channel_capacity
-                ):
+        def deliver(time: float, st_src: _KernelState, port: str, item) -> None:
+            nonlocal peak_heap
+            is_token = isinstance(item, ControlToken)
+            for ch, dst, checked in st_src.out.get(port, ()):
+                # Channel.push, inlined: stamp, count, track occupancy.
+                items = ch.items
+                items.append(item)
+                counter = ch.seq
+                counter.value = stamp = counter.value + 1
+                ch.seqs.append(stamp)
+                if is_token:
+                    ch.total_tokens += 1
+                else:
+                    ch.total_data += 1
+                occupancy = len(items)
+                if occupancy > ch.max_occupancy:
+                    ch.max_occupancy = occupancy
+                if checked and occupancy > input_cap:
                     violations.append(
                         _Violation(
                             time=time,
@@ -275,79 +457,217 @@ class Simulator:
                             detail="input overran its consumer",
                         )
                     )
-                push(time, _POLL, ch.dst)
+                if queued_polls.get(dst) != time:
+                    queued_polls[dst] = time
+                    heappush(events, (time, _POLL, next_seq(), dst))
+                    if len(events) > peak_heap:
+                        peak_heap = len(events)
 
-        # --- startup: init methods, then source schedules ---------------
+        # --- startup: init methods, then lazy source cursors -------------
         for name, rk in runtimes.items():
             for result in rk.run_init():
+                st = states[name]
                 for port, item in result.emissions:
-                    deliver(0.0, rk, port, item)
+                    deliver(0.0, st, port, item)
 
-        horizon = 0.0
-        # Constant sources inject before the real-time inputs so that at
+        # One cursor per source, ordered constant-sources-then-inputs so
         # t=0 coefficient/bin loads beat the first data element (the same
-        # ordering the functional executor guarantees).
+        # ordering the functional executor and the seed loop guarantee).
+        # The cursor's heap tie-breaker is its source index, which equals
+        # the seed's pre-push sequence ordering at every shared timestamp.
+        horizon = 0.0
+        source_states: list[_KernelState] = []
+        source_iters: list[Iterator[tuple[float, Item]]] = []
         for name, rk in runtimes.items():
             if isinstance(rk.kernel, ConstantSource):
-                push(0.0, _DELIVER, (name, "out", rk.kernel.values.copy()))
+                source_states.append(states[name])
+                source_iters.append(
+                    iter(((0.0, rk.kernel.values.copy()),))
+                )
         for name, rk in runtimes.items():
             kernel = rk.kernel
             if isinstance(kernel, ApplicationInput):
-                period = kernel.element_period
-                t = 0.0
-                for item in source_items(kernel, opts.frames):
-                    push(t, _DELIVER, (name, "out", item))
-                    if isinstance(item, np.ndarray):
-                        t += period
+                source_states.append(states[name])
+                source_iters.append(_timed_source_items(kernel, opts.frames))
                 horizon = max(horizon, opts.frames / kernel.rate_hz)
+        source_heads: list[tuple[float, Item] | None] = []
+        for idx, it in enumerate(source_iters):
+            head = next(it, None)
+            source_heads.append(head)
+            if head is not None:
+                heappush(events, (head[0], _DELIVER, idx, idx))
+        if len(events) > peak_heap:
+            peak_heap = len(events)
 
         # --- main loop ---------------------------------------------------
         makespan = 0.0
         processed = 0
+        max_events = opts.max_events
+        bounded = (
+            opts.channel_capacity is not None
+            or bool(opts.channel_capacity_overrides)
+        )
+        clock = self.processor.clock_hz
+        rcpe = self.processor.read_cycles_per_element
+        wcpe = self.processor.write_cycles_per_element
+
         while events:
-            time, kind, _, payload = heapq.heappop(events)
-            makespan = max(makespan, time)
-            processed += 1
-            if processed > opts.max_events:
-                raise SimulationError(
-                    f"simulation exceeded {opts.max_events} events; "
-                    "the application is likely livelocked"
-                )
-            if kind == _DELIVER:
-                src_name, port, item = payload
-                deliver(time, runtimes[src_name], port, item)
-            elif kind == _POLL:
-                if queued_polls.get(payload) == time:
-                    del queued_polls[payload]
-                self._try_fire(
-                    time, runtimes[payload], runtimes, proc_of, proc_stats,
-                    proc_free_at, proc_pending, kernel_running, push,
-                    output_times, trace, budget_overruns,
-                )
-            else:  # _FINISH
-                kernel_name, result = payload
-                rk = runtimes[kernel_name]
-                kernel_running[kernel_name] = False
+            time, kind, _, payload = heappop(events)
+            makespan = time  # heap pops are time-ordered: last pop wins
+
+            if kind == _POLL:
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        f"simulation exceeded {max_events} events; "
+                        "the application is likely livelocked"
+                    )
+                st = payload
+                # The entry (when present) always equals this poll's time:
+                # polls are deduped per timestamp and future deliveries
+                # cannot precede this pop in heap order.
+                queued_polls.pop(st, None)
+                if st.running:
+                    continue
+                ps = st.proc
+                if ps is None:
+                    # Off-chip boundary kernel: executes instantly.
+                    st_ready = st.ready
+                    st_execute = st.execute
+                    while True:
+                        firing = st_ready()
+                        if firing is None:
+                            break
+                        result = st_execute(firing)
+                        if bounded:
+                            for port in firing.consume_ports:
+                                src = st.wake.get(port)
+                                if src is not None and \
+                                        queued_polls.get(src) != time:
+                                    queued_polls[src] = time
+                                    heappush(events,
+                                             (time, _POLL, next_seq(), src))
+                        if st.is_output and firing.kind == "method":
+                            times_out = st.output_times
+                            for _port in firing.consume_ports:
+                                times_out.append(time)
+                        for port, item in result.emissions:
+                            deliver(time, st, port, item)
+                else:
+                    if ps.free_at > time:
+                        pending = ps.pending
+                        if st not in pending:
+                            pending.append(st)
+                        continue
+                    firing = st.ready()
+                    if firing is None:
+                        continue
+                    if bounded:
+                        me = st.max_emissions
+                        blocked = False
+                        for ch in st.out_channels:
+                            cap = ch.capacity
+                            if cap is not None and len(ch.items) + me > cap:
+                                blocked = True
+                                break
+                        if blocked:
+                            # Backpressure stall: re-polled when a
+                            # consumer frees space.
+                            continue
+                    result = st.execute(firing)
+                    if bounded:
+                        for port in firing.consume_ports:
+                            src = st.wake.get(port)
+                            if src is not None and \
+                                    queued_polls.get(src) != time:
+                                queued_polls[src] = time
+                                heappush(events,
+                                         (time, _POLL, next_seq(), src))
+                    if result.dynamic and result.cycles > result.declared_cycles:
+                        budget_overruns.append(BudgetOverrun(
+                            time=time, kernel=st.name, method=result.label,
+                            declared_cycles=result.declared_cycles,
+                            actual_cycles=result.cycles,
+                        ))
+                    read_s = result.elements_read * rcpe / clock
+                    run_s = result.cycles / clock
+                    write_s = result.elements_written * wcpe / clock
+                    duration = read_s + run_s + write_s
+                    ps.read_s += read_s
+                    ps.run_s += run_s
+                    ps.write_s += write_s
+                    ps.firings += 1
+                    ps.free_at = time + duration
+                    st.running = True
+                    if trace_on:
+                        trace.append(TraceEvent(
+                            start_s=time, processor=ps.index, kernel=st.name,
+                            method=result.label, read_s=read_s, run_s=run_s,
+                            write_s=write_s,
+                        ))
+                    heappush(events,
+                             (time + duration, _FINISH, next_seq(),
+                              (st, result)))
+                    if len(events) > peak_heap:
+                        peak_heap = len(events)
+
+            elif kind == _FINISH:
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        f"simulation exceeded {max_events} events; "
+                        "the application is likely livelocked"
+                    )
+                st, result = payload
+                st.running = False
                 for port, item in result.emissions:
-                    deliver(time, rk, port, item)
-                proc = proc_of[kernel_name]
-                if proc is not None:
-                    pending = proc_pending[proc]
-                    pending.append(kernel_name)
-                    while pending:
-                        nxt = pending.popleft()
-                        push(time, _POLL, nxt)
-                        break
-                    # Poll everything else sharing the element too; only
-                    # one will win the (now free) processor.
-                    for other in list(pending):
-                        push(time, _POLL, other)
+                    deliver(time, st, port, item)
+                ps = st.proc
+                if ps is not None:
+                    pending = ps.pending
+                    pending.append(st)
+                    # Poll everything sharing the (now free) element, in
+                    # arrival order; only one will win the processor.
+                    for other in pending:
+                        if queued_polls.get(other) != time:
+                            queued_polls[other] = time
+                            heappush(events, (time, _POLL, next_seq(), other))
                     pending.clear()
+                    if len(events) > peak_heap:
+                        peak_heap = len(events)
+
+            else:  # _DELIVER: one source cursor; drain its timestamp batch
+                idx = payload
+                st = source_states[idx]
+                it = source_iters[idx]
+                head = source_heads[idx]
+                while head is not None and head[0] == time:
+                    processed += 1
+                    deliver(time, st, "out", head[1])
+                    head = next(it, None)
+                source_heads[idx] = head
+                if head is not None:
+                    heappush(events, (head[0], _DELIVER, idx, idx))
+                    if len(events) > peak_heap:
+                        peak_heap = len(events)
+                if processed > max_events:
+                    raise SimulationError(
+                        f"simulation exceeded {max_events} events; "
+                        "the application is likely livelocked"
+                    )
 
         duration = max(makespan, horizon)
         utilization = UtilizationSummary(
-            duration_s=duration, processors=dict(proc_stats)
+            duration_s=duration,
+            processors={
+                proc: ps.to_stats() for proc, ps in proc_states.items()
+            },
         )
+        output_times = {
+            name: states[name].output_times
+            for name, rk in runtimes.items()
+            if isinstance(rk.kernel, ApplicationOutput)
+        }
         outputs = {
             name: list(rk.kernel.received)
             for name, rk in runtimes.items()
@@ -365,107 +685,13 @@ class Simulator:
             firings={name: rk.firings for name, rk in runtimes.items()},
             trace=trace,
             budget_overruns=budget_overruns,
+            events_processed=processed,
+            peak_heap=peak_heap,
         )
-
-    # ------------------------------------------------------------------
-    def _try_fire(
-        self,
-        time: float,
-        rk: RuntimeKernel,
-        runtimes: dict[str, RuntimeKernel],
-        proc_of: dict[str, int | None],
-        proc_stats: dict[int, ProcessorStats],
-        proc_free_at: dict[int, float],
-        proc_pending: dict[int, deque],
-        kernel_running: dict[str, bool],
-        push,
-        output_times: dict[str, list[float]],
-        trace: list[TraceEvent],
-        budget_overruns: list[BudgetOverrun],
-    ) -> None:
-        name = rk.name
-        if kernel_running[name]:
-            return
-        proc = proc_of[name]
-
-        bounded = (
-            self.options.channel_capacity is not None
-            or bool(self.options.channel_capacity_overrides)
-        )
-
-        def wake_producers(firing) -> None:
-            # Consuming freed channel space; stalled producers may resume.
-            if not bounded:
-                return
-            for port in firing.consume_ports:
-                ch = rk.inputs.get(port)
-                if ch is not None and ch.capacity is not None:
-                    push(time, _POLL, ch.src)
-
-        if proc is None:
-            # Off-chip boundary kernel: executes instantly.
-            while True:
-                firing = rk.ready_firing()
-                if firing is None:
-                    return
-                result = rk.execute(firing)
-                wake_producers(firing)
-                if isinstance(rk.kernel, ApplicationOutput):
-                    arrivals = [
-                        1 for p in firing.consume_ports
-                    ] if firing.kind == "method" else []
-                    for _ in arrivals:
-                        output_times[name].append(time)
-                for port, item in result.emissions:
-                    for ch in rk.outputs.get(port, ()):
-                        ch.push(item)
-                        push(time, _POLL, ch.dst)
-
-        else:
-            if proc_free_at[proc] > time:
-                if name not in proc_pending[proc]:
-                    proc_pending[proc].append(name)
-                return
-            firing = rk.ready_firing()
-            if firing is None:
-                return
-            if bounded and not all(
-                ch.space_for(rk.kernel.max_emissions_per_firing)
-                for chans in rk.outputs.values()
-                for ch in chans
-            ):
-                # Backpressure stall: re-polled when a consumer frees space.
-                return
-            result = rk.execute(firing)
-            wake_producers(firing)
-            if result.dynamic and result.cycles > result.declared_cycles:
-                budget_overruns.append(BudgetOverrun(
-                    time=time, kernel=name, method=result.label,
-                    declared_cycles=result.declared_cycles,
-                    actual_cycles=result.cycles,
-                ))
-            read_s, run_s, write_s = self.processor.firing_time(
-                result.cycles, result.elements_read, result.elements_written
-            )
-            duration = read_s + run_s + write_s
-            stats = proc_stats[proc]
-            stats.read_s += read_s
-            stats.run_s += run_s
-            stats.write_s += write_s
-            stats.firings += 1
-            proc_free_at[proc] = time + duration
-            kernel_running[name] = True
-            if self.options.trace:
-                trace.append(TraceEvent(
-                    start_s=time, processor=proc, kernel=name,
-                    method=result.label, read_s=read_s, run_s=run_s,
-                    write_s=write_s,
-                ))
-            push(time + duration, _FINISH, (name, result))
 
 
 def simulate(
-    compiled: CompiledApp, options: SimulationOptions = SimulationOptions()
+    compiled: CompiledApp, options: SimulationOptions | None = None
 ) -> SimulationResult:
     """Simulate a compiled application on its mapping."""
     sim = Simulator(compiled.graph, compiled.mapping, compiled.processor, options)

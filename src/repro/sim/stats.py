@@ -32,6 +32,18 @@ class ProcessorStats:
     def utilization(self, duration: float) -> float:
         return self.busy_s / duration if duration > 0 else 0.0
 
+    def as_dict(self, duration: float) -> dict:
+        """Machine-readable form (one ``processors`` row of the summary)."""
+        return {
+            "index": self.index,
+            "utilization": self.utilization(duration),
+            "read_s": self.read_s,
+            "run_s": self.run_s,
+            "write_s": self.write_s,
+            "firings": self.firings,
+            "kernels": sorted(self.kernels),
+        }
+
 
 @dataclass(frozen=True, slots=True)
 class UtilizationSummary:
@@ -74,15 +86,7 @@ class UtilizationSummary:
             "average_utilization": self.average_utilization,
             "components": self.component_fractions(),
             "processors": [
-                {
-                    "index": p.index,
-                    "utilization": p.utilization(self.duration_s),
-                    "read_s": p.read_s,
-                    "run_s": p.run_s,
-                    "write_s": p.write_s,
-                    "firings": p.firings,
-                    "kernels": sorted(p.kernels),
-                }
+                p.as_dict(self.duration_s)
                 for _, p in sorted(self.processors.items())
             ],
         }

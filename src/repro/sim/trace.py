@@ -19,10 +19,13 @@ checks.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-__all__ = ["TraceEvent", "gantt", "busy_time_by_processor"]
+__all__ = ["TraceEvent", "event_as_dict", "trace_digest", "gantt",
+           "busy_time_by_processor"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -44,6 +47,34 @@ class TraceEvent:
     @property
     def end_s(self) -> float:
         return self.start_s + self.duration_s
+
+
+def event_as_dict(event: TraceEvent) -> dict:
+    """Canonical JSON-safe form of one trace event (conformance surface)."""
+    return {
+        "start_s": event.start_s,
+        "processor": event.processor,
+        "kernel": event.kernel,
+        "method": event.method,
+        "read_s": event.read_s,
+        "run_s": event.run_s,
+        "write_s": event.write_s,
+    }
+
+
+def trace_digest(events: Sequence[TraceEvent]) -> str:
+    """sha256 over the canonical serialization of a whole trace.
+
+    Floats serialize via ``repr`` (shortest round-trip), so two traces
+    share a digest iff every event matches bit-for-bit — which lets the
+    conformance fixtures pin the *full* firing sequence without checking
+    in megabytes of JSON.
+    """
+    h = hashlib.sha256()
+    for event in events:
+        h.update(json.dumps(event_as_dict(event), sort_keys=True).encode())
+        h.update(b"\n")
+    return h.hexdigest()
 
 
 def busy_time_by_processor(events: Iterable[TraceEvent]) -> dict[int, float]:

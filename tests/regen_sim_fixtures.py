@@ -1,0 +1,75 @@
+"""Regenerate the simulator conformance fixtures.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tests/regen_sim_fixtures.py
+
+Runs the **frozen reference simulator** (``repro.sim.reference``) on the
+five Figure 13 applications and writes each golden ``as_dict()`` record to
+``tests/fixtures/sim_conformance/app_<key>.json``.  The conformance suite
+(``tests/test_sim_conformance.py``) asserts the optimized simulator
+reproduces these records exactly.
+
+Only rerun this when the *observable* simulation semantics intentionally
+change (new cost model, new stat, ...) — never to paper over a divergence
+introduced by a hot-path optimization.  Review the fixture diff: every
+changed field is a behaviour change the PR must justify.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.apps.suite import BENCHMARK_PROCESSOR, benchmark  # noqa: E402
+from repro.sim import SimulationOptions, reference_simulate  # noqa: E402
+from repro.transform import CompileOptions, compile_application  # noqa: E402
+
+#: The five Figure 13 applications pinned by the conformance suite.
+APP_KEYS = ("1", "2", "3", "4", "5")
+
+FIXTURE_DIR = pathlib.Path(__file__).resolve().parent / "fixtures" / "sim_conformance"
+
+
+def build_fixture(key: str) -> dict:
+    bench = benchmark(key)
+    compiled = compile_application(
+        bench.application(),
+        BENCHMARK_PROCESSOR,
+        CompileOptions(mapping="greedy"),
+    )
+    options = SimulationOptions(frames=bench.frames, trace=True)
+    result = reference_simulate(compiled, options)
+    return {
+        "key": bench.key,
+        "title": bench.title,
+        "config": {
+            "clock_hz": BENCHMARK_PROCESSOR.clock_hz,
+            "memory_words": BENCHMARK_PROCESSOR.memory_words,
+            "mapping": "greedy",
+            "frames": bench.frames,
+            "trace": True,
+        },
+        "golden": result.as_dict(),
+    }
+
+
+def main() -> int:
+    FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+    for key in APP_KEYS:
+        fixture = build_fixture(key)
+        path = FIXTURE_DIR / f"app_{key}.json"
+        path.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
+        golden = fixture["golden"]
+        print(
+            f"app {key}: {golden['events']} events, "
+            f"{golden['trace']['events']} trace events -> {path}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

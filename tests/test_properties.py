@@ -3,14 +3,21 @@
 These cover the structural kernels and analyses whose correctness is
 geometric: buffer window emission versus numpy's own sliding windows,
 split/join round trips, column-split reassembly with overlap, inset
-trimming, and the dataflow conservation laws.
+trimming, and the dataflow conservation laws — plus whole-simulation
+invariants (makespan monotonicity, backpressure never helps, tracing is
+observation-free) over the random pipelines of
+:mod:`test_random_pipelines`.
 """
 
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
+from test_random_pipelines import pipelines
 
 from repro.geometry import Size2D, Step2D, iteration_grid
+from repro.machine import ProcessorSpec
+from repro.sim import SimulationOptions, simulate
+from repro.transform import CompileOptions, compile_application
 from repro.kernels import (
     BufferKernel,
     ColumnSplit,
@@ -295,3 +302,63 @@ class TestDataflowProperties:
         assert sink.firings_per_second["record"] == (
             grid.elements * rate
         )
+
+
+class TestSimulatorProperties:
+    """Whole-simulation invariants on random compiled pipelines."""
+
+    PROC = ProcessorSpec(clock_hz=50e6, memory_words=2048)
+
+    def _compile(self, app):
+        return compile_application(
+            app, self.PROC, CompileOptions(mapping="greedy")
+        )
+
+    @given(pipelines(), st.integers(1, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_makespan_monotone_in_frames(self, case, frames):
+        """More input frames never finish earlier, and every output
+        receives at least as many chunks."""
+        app, extent, rate = case
+        compiled = self._compile(app)
+        short = simulate(compiled, SimulationOptions(frames=frames))
+        longer = simulate(compiled, SimulationOptions(frames=frames + 1))
+        assert longer.makespan_s >= short.makespan_s
+        for name, times in short.output_times.items():
+            assert len(longer.output_times[name]) >= len(times)
+
+    @given(pipelines(), st.integers(2, 6))
+    @settings(max_examples=15, deadline=None, derandomize=True)
+    def test_tightening_capacity_never_increases_throughput(self, case, cap):
+        """Bounding internal channels only ever slows a pipeline down:
+        no output gets more chunks, no chunk arrives earlier, the whole
+        run never finishes sooner.  (Derandomized: backpressure under
+        time multiplexing is where scheduling anomalies would live, so
+        this case list must be identical on every CI run.)"""
+        app, extent, rate = case
+        compiled = self._compile(app)
+        free = simulate(compiled, SimulationOptions(frames=2))
+        tight = simulate(
+            compiled, SimulationOptions(frames=2, channel_capacity=cap)
+        )
+        for name, times in tight.output_times.items():
+            unbounded = free.output_times[name]
+            assert len(times) <= len(unbounded)
+            for got, reference in zip(times, unbounded):
+                assert got >= reference
+        assert tight.makespan_s >= free.makespan_s
+
+    @given(pipelines())
+    @settings(max_examples=10, deadline=None)
+    def test_trace_flag_is_observation_free(self, case):
+        """trace=True records the schedule without perturbing it: every
+        observable except the trace section itself is identical."""
+        app, extent, rate = case
+        compiled = self._compile(app)
+        on = simulate(compiled, SimulationOptions(frames=1, trace=True))
+        off = simulate(compiled, SimulationOptions(frames=1, trace=False))
+        d_on, d_off = on.as_dict(), off.as_dict()
+        assert d_on.pop("trace")["events"] == len(on.trace) > 0
+        assert d_off.pop("trace")["events"] == 0 and off.trace == []
+        assert d_on == d_off
+        assert on.events_processed == off.events_processed

@@ -1,0 +1,172 @@
+"""Differential conformance: optimized simulator vs the frozen seed loop.
+
+The hot-path work in :mod:`repro.sim.simulator` is only admissible if it
+is *observably identical* to the seed implementation preserved verbatim
+in :mod:`repro.sim.reference`.  This suite proves it three ways on the
+five Figure 13 applications:
+
+1. **Golden fixtures** — the reference simulator's ``as_dict()`` (stats,
+   output times, violation list, per-channel counters, full-trace digest)
+   is checked in under ``tests/fixtures/sim_conformance/`` and the
+   optimized simulator must reproduce every field exactly.  Regenerate
+   with ``PYTHONPATH=src python tests/regen_sim_fixtures.py`` — only when
+   semantics intentionally change.
+2. **Live differential** — both loops run on the *same* compiled app in
+   the same process; ``as_dict()``, the full :class:`TraceEvent`
+   sequence, and the raw event count must match.
+3. **Functional cross-check** — the timing simulator's pixel outputs for
+   the Bayer and convolution apps must equal the untimed golden executor
+   (:func:`repro.sim.run_functional`) chunk-for-chunk.
+
+Plus determinism (repeat runs and a pickle round-trip of the compiled
+app — the explore worker path — are byte-identical) and a regression
+test for the shared-default-options bug.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import pickle
+from functools import lru_cache
+
+import numpy as np
+import pytest
+
+from repro.apps.suite import BENCHMARK_PROCESSOR, benchmark
+from repro.sim import (
+    SimulationOptions,
+    Simulator,
+    reference_simulate,
+    run_functional,
+    simulate,
+)
+from repro.transform import CompileOptions, compile_application
+
+APP_KEYS = ("1", "2", "3", "4", "5")
+
+FIXTURE_DIR = pathlib.Path(__file__).resolve().parent / "fixtures" / "sim_conformance"
+
+
+@lru_cache(maxsize=None)
+def compiled_app(key: str):
+    bench = benchmark(key)
+    return bench, compile_application(
+        bench.application(),
+        BENCHMARK_PROCESSOR,
+        CompileOptions(mapping="greedy"),
+    )
+
+
+def canonical(result_dict: dict) -> str:
+    """Byte-exact canonical form (floats via repr, keys sorted)."""
+    return json.dumps(result_dict, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# 1. Golden fixtures pin the seed behaviour across commits
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("key", APP_KEYS)
+def test_optimized_matches_golden_fixture(key):
+    fixture = json.loads((FIXTURE_DIR / f"app_{key}.json").read_text())
+    bench, compiled = compiled_app(key)
+    config = fixture["config"]
+    assert config["clock_hz"] == BENCHMARK_PROCESSOR.clock_hz
+    assert config["memory_words"] == BENCHMARK_PROCESSOR.memory_words
+    assert config["frames"] == bench.frames
+
+    result = simulate(
+        compiled, SimulationOptions(frames=bench.frames, trace=True)
+    )
+    got = json.loads(canonical(result.as_dict()))
+    golden = fixture["golden"]
+    # Field-by-field first, so a divergence names the field that moved.
+    assert set(got) == set(golden)
+    for field in golden:
+        assert got[field] == golden[field], f"app {key}: {field!r} diverged"
+
+
+# ----------------------------------------------------------------------
+# 2. Live differential: both loops, same compiled app, same process
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("key", APP_KEYS)
+@pytest.mark.parametrize("trace", [False, True])
+def test_optimized_matches_reference_live(key, trace):
+    bench, compiled = compiled_app(key)
+    options = SimulationOptions(frames=bench.frames, trace=trace)
+    ref = reference_simulate(compiled, options)
+    opt = simulate(compiled, options)
+
+    assert opt.events_processed == ref.events_processed
+    assert opt.trace == ref.trace  # full TraceEvent sequence, not a digest
+    assert canonical(opt.as_dict()) == canonical(ref.as_dict())
+
+
+def test_reference_matches_golden_fixture():
+    """The frozen loop itself still reproduces its own fixtures."""
+    key = "5"
+    fixture = json.loads((FIXTURE_DIR / f"app_{key}.json").read_text())
+    bench, compiled = compiled_app(key)
+    result = reference_simulate(
+        compiled, SimulationOptions(frames=bench.frames, trace=True)
+    )
+    assert json.loads(canonical(result.as_dict())) == fixture["golden"]
+
+
+# ----------------------------------------------------------------------
+# 3. Pixel outputs vs the untimed golden executor
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("key", ["1", "4"])  # Bayer demosaic, convolutions
+def test_outputs_match_functional_executor(key):
+    bench, compiled = compiled_app(key)
+    sim = simulate(compiled, SimulationOptions(frames=bench.frames))
+    fn = run_functional(compiled.graph, frames=bench.frames)
+    assert set(sim.outputs) == set(fn.outputs)
+    for name, chunks in sim.outputs.items():
+        golden = fn.output(name)
+        assert len(chunks) == len(golden)
+        for i, (got, want) in enumerate(zip(chunks, golden)):
+            np.testing.assert_array_equal(
+                got, want, err_msg=f"app {key} output {name!r} chunk {i}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Determinism: repeat runs and the explore-worker pickle path
+# ----------------------------------------------------------------------
+def test_repeat_runs_are_byte_identical():
+    bench, compiled = compiled_app("5")
+    options = SimulationOptions(frames=bench.frames, trace=True)
+    first = simulate(compiled, options)
+    second = simulate(compiled, options)
+    assert first.events_processed == second.events_processed
+    assert canonical(first.as_dict()) == canonical(second.as_dict())
+
+
+def test_pickle_round_trip_is_byte_identical():
+    """The explore engine ships CompiledApps to workers via pickle."""
+    bench, compiled = compiled_app("2")
+    clone = pickle.loads(pickle.dumps(compiled))
+    options = SimulationOptions(frames=bench.frames, trace=True)
+    local = simulate(compiled, options)
+    shipped = simulate(clone, options)
+    assert local.events_processed == shipped.events_processed
+    assert canonical(local.as_dict()) == canonical(shipped.as_dict())
+
+
+# ----------------------------------------------------------------------
+# Regression: SimulationOptions must not be shared across Simulators
+# ----------------------------------------------------------------------
+def test_default_options_are_per_instance():
+    _, compiled = compiled_app("2")
+    a = Simulator(compiled.graph, compiled.mapping, compiled.processor)
+    b = Simulator(compiled.graph, compiled.mapping, compiled.processor)
+    assert a.options is not b.options
+    assert a.options == b.options == SimulationOptions()
+    # The signature default is None (constructed per call), not a shared
+    # mutable-default instance evaluated once at def time.
+    import inspect
+
+    sig = inspect.signature(Simulator.__init__)
+    assert sig.parameters["options"].default is None
+    assert inspect.signature(simulate).parameters["options"].default is None
