@@ -28,7 +28,7 @@ See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
 the paper-figure reproductions.
 """
 
-from . import analysis, apps, explore, kernels, machine, sim, transform
+from . import analysis, apps, explore, faults, kernels, machine, sim, transform
 from .errors import (
     AlignmentError,
     AnalysisError,
@@ -62,6 +62,7 @@ __all__ = [
     "analysis",
     "apps",
     "explore",
+    "faults",
     "kernels",
     "machine",
     "sim",

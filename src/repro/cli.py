@@ -27,6 +27,7 @@ import time
 
 from .apps import BENCHMARK_PROCESSOR, benchmark, benchmark_suite
 from .graph.dot import to_dot
+from .errors import SimulationError
 from .machine import ProcessorSpec
 from .sim import SimulationOptions, simulate
 from .transform import CompileOptions, compile_application
@@ -46,8 +47,26 @@ def _compile(key: str, args: argparse.Namespace):
     return bench, compile_application(
         bench.application(),
         _processor(args),
-        CompileOptions(mapping=args.mapping),
+        CompileOptions(
+            mapping=args.mapping,
+            spare_processors=getattr(args, "spares", 0),
+        ),
     )
+
+
+def _fault_spec(args: argparse.Namespace):
+    from .faults import load_fault_spec
+
+    if getattr(args, "faults", None) is None:
+        if getattr(args, "fault_seed", None) is not None:
+            raise SimulationError(
+                "--fault-seed requires --faults (a scenario to seed)"
+            )
+        return None
+    spec = load_fault_spec(args.faults)
+    if args.fault_seed is not None:
+        spec = spec.with_seed(args.fault_seed)
+    return spec
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -72,13 +91,19 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     bench, compiled = _compile(args.key, args)
+    fault_spec = _fault_spec(args)
     sim_started = time.perf_counter()
-    result = simulate(compiled, SimulationOptions(frames=args.frames))
+    result = simulate(
+        compiled, SimulationOptions(frames=args.frames, faults=fault_spec)
+    )
     sim_elapsed = time.perf_counter() - sim_started
+    shedding = fault_spec is not None and fault_spec.recovery.shed
     verdict = result.verdict(
         bench.output, rate_hz=bench.rate_hz,
         chunks_per_frame=bench.chunks_per_frame, frames=args.frames,
+        allow_shedding=shedding,
     )
+    faults_active = fault_spec is not None and fault_spec.active()
     bench_stats = {
         "wall_s": sim_elapsed,
         "events": result.events_processed,
@@ -97,11 +122,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             "verdict": verdict.as_dict(),
             "utilization": result.utilization.as_dict(),
         }
+        if faults_active:
+            payload["faults"] = result.fault_stats.as_dict()
         if args.bench:
             payload["bench"] = bench_stats
         print(json.dumps(payload, indent=2))
     else:
         print(verdict.describe())
+        if faults_active:
+            print(result.fault_stats.describe())
         print()
         print(result.utilization.describe())
         if args.bench:
@@ -112,6 +141,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 f"{bench_stats['events_per_s']:,.0f} events/s, "
                 f"peak heap {bench_stats['peak_heap']}"
             )
+    if args.strict:
+        # CI gate: nonzero on any real-time violation or fault the
+        # recovery policy could not absorb.
+        ok = (verdict.meets and not result.violations
+              and result.fault_stats.unrecovered == 0)
+        return 0 if ok else 1
     return 0 if verdict.meets else 1
 
 
@@ -291,6 +326,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="machine-readable output")
     p.add_argument("--bench", action="store_true",
                    help="print simulator timing (wall, events/s, peak heap)")
+    p.add_argument("--faults", default=None, metavar="FILE",
+                   help="inject a fault scenario (JSON FaultSpec file; "
+                        "see docs/robustness.md)")
+    p.add_argument("--fault-seed", type=int, default=None, dest="fault_seed",
+                   help="override the fault spec's seed")
+    p.add_argument("--spares", type=int, default=0,
+                   help="spare processing elements reserved for migration")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero on real-time violations or "
+                        "unrecovered faults (CI gate)")
 
     p = sub.add_parser("dot", help="export a benchmark graph as Graphviz dot")
     p.add_argument("key")

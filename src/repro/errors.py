@@ -22,6 +22,7 @@ __all__ = [
     "PlacementError",
     "SimulationError",
     "FiringError",
+    "FaultSpecError",
     "RealTimeViolation",
     "ChannelOverflow",
     "ResourceError",
@@ -87,6 +88,14 @@ class SimulationError(BlockParallelError):
 
 class FiringError(SimulationError):
     """A kernel method misbehaved at runtime (wrong output shape, ...)."""
+
+
+class FaultSpecError(SimulationError):
+    """A fault-injection specification is malformed (see :mod:`repro.faults`).
+
+    Carries the offending field in the message so sweep authors can fix
+    the spec without reading the validator.
+    """
 
 
 class RealTimeViolation(SimulationError):

@@ -168,15 +168,19 @@ def execute_job(job: Job) -> dict[str, Any]:
     compiled = compile_application(
         app, job.build_processor(), job.build_options()
     )
+    fault_spec = job.fault_spec()
     sim_started = time.perf_counter()
-    result = simulate(compiled, SimulationOptions(frames=job.frames))
+    result = simulate(
+        compiled, SimulationOptions(frames=job.frames, faults=fault_spec)
+    )
     sim_elapsed = time.perf_counter() - sim_started
     output, chunks_per_frame, rate_hz = job.measurement()
+    shedding = fault_spec is not None and fault_spec.recovery.shed
     verdict = result.verdict(
         output, rate_hz=rate_hz, chunks_per_frame=chunks_per_frame,
-        frames=job.frames,
+        frames=job.frames, allow_shedding=shedding,
     )
-    return {
+    stats: dict[str, Any] = {
         "processor_count": compiled.processor_count,
         "kernel_count": compiled.kernel_count(),
         "avg_utilization": result.utilization.average_utilization,
@@ -199,6 +203,13 @@ def execute_job(job: Job) -> dict[str, Any]:
             result.events_processed / sim_elapsed if sim_elapsed > 0 else 0.0
         ),
     }
+    if fault_spec is not None and fault_spec.active():
+        # Degradation accounting rides along, so fault scenarios sweep —
+        # and report — like any other design axis.
+        stats["faults"] = result.fault_stats.as_dict()
+        stats["frames_shed"] = verdict.frames_shed
+        stats["unrecovered_faults"] = result.fault_stats.unrecovered
+    return stats
 
 
 def _worker(job_dict: dict[str, Any]) -> dict[str, Any]:

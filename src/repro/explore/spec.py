@@ -45,7 +45,8 @@ from ..apps import (
     benchmark,
     benchmark_suite,
 )
-from ..errors import BlockParallelError, GraphError
+from ..errors import BlockParallelError, FaultSpecError, GraphError
+from ..faults import FaultSpec
 from ..graph.app import ApplicationGraph
 from ..graph.serialize import FINGERPRINT_SCHEMA
 from ..graph.serialize import fingerprint as graph_fingerprint
@@ -74,9 +75,13 @@ PROCESSOR_KEYS = frozenset({
 })
 OPTION_KEYS = frozenset({
     "mapping", "parallelize", "fuse_pipelines",
-    "utilization_target", "alignment_policy",
+    "utilization_target", "alignment_policy", "spare_processors",
 })
 SIM_KEYS = frozenset({"frames"})
+#: ``faults`` takes a fault-spec dict (see :mod:`repro.faults`);
+#: ``fault_seed`` overrides/sets its seed, letting a sweep hold one
+#: scenario fixed while varying only the seed axis.
+FAULT_KEYS = frozenset({"faults", "fault_seed"})
 
 
 @dataclass(frozen=True, slots=True)
@@ -141,6 +146,10 @@ class Job:
     #: Failure injection for tests/ops drills: ``{"mode": "hang" | "crash"
     #: | "error" | "flaky", ...}``.  Never set by spec expansion.
     inject: tuple[tuple[str, Any], ...] = ()
+    #: Canonical JSON of a :class:`repro.faults.FaultSpec`, or "" for a
+    #: perfect substrate.  Canonical so equivalent scenarios share a
+    #: fingerprint and hit the same cache entry.
+    faults: str = ""
     _fingerprint: str = field(default="", compare=False, repr=False)
 
     # -- construction helpers ------------------------------------------
@@ -158,7 +167,16 @@ class Job:
         bits = [f"{k}={v}" for k, v in self.params]
         bits += [f"{k}={v}" for k, v in self.processor]
         bits += [f"{k}={v}" for k, v in self.options]
+        spec = self.fault_spec()
+        if spec is not None:
+            bits.append(f"faults[seed={spec.seed}]")
         return f"{self.app}({', '.join(bits)})" if bits else self.app
+
+    def fault_spec(self) -> "FaultSpec | None":
+        """The job's validated fault scenario, or None."""
+        if not self.faults:
+            return None
+        return FaultSpec.from_json(self.faults)
 
     def build_app(self) -> ApplicationGraph:
         if self.app in APP_TEMPLATES:
@@ -220,6 +238,7 @@ class Job:
             "frames": self.frames,
             "timeout_s": self.timeout_s,
             "inject": self.inject_dict,
+            "faults": json.loads(self.faults) if self.faults else None,
             "fingerprint": self.fingerprint,
         }
 
@@ -234,12 +253,29 @@ class Job:
             frames=int(data.get("frames", 3)),
             timeout_s=float(data.get("timeout_s", 300.0)),
             inject=_freeze(data.get("inject", {})),
+            faults=_canonical_faults(data.get("faults")),
             _fingerprint=data.get("fingerprint", ""),
         )
 
 
 def _freeze(mapping: Mapping[str, Any]) -> tuple[tuple[str, Any], ...]:
     return tuple(sorted(mapping.items()))
+
+
+def _canonical_faults(data: Any) -> str:
+    """Validate + canonicalize a fault-spec value to its identity string."""
+    if data is None or data == "":
+        return ""
+    if isinstance(data, FaultSpec):
+        return data.canonical_json()
+    if not isinstance(data, Mapping):
+        raise ExploreError(
+            f"'faults' must be a fault-spec object, got {type(data).__name__}"
+        )
+    try:
+        return FaultSpec.from_dict(data).canonical_json()
+    except FaultSpecError as exc:
+        raise ExploreError(f"bad fault spec: {exc}") from None
 
 
 def compute_fingerprint(job: Job) -> str:
@@ -252,6 +288,7 @@ def compute_fingerprint(job: Job) -> str:
         "options": dict(job.options),
         "frames": job.frames,
         "inject": job.inject_dict,
+        "faults": job.faults or None,
     }
     try:
         payload["graph"] = graph_fingerprint(job.build_app())
@@ -335,6 +372,8 @@ def _route(point: Mapping[str, Any], spec: SweepSpec) -> Job:
     processor: dict[str, Any] = {}
     options: dict[str, Any] = {}
     frames = spec.frames
+    fault_base: Mapping[str, Any] | None = None
+    fault_seed: int | None = None
     for key, value in point.items():
         if key in PROCESSOR_KEYS:
             processor[key] = value
@@ -342,9 +381,28 @@ def _route(point: Mapping[str, Any], spec: SweepSpec) -> Job:
             options[key] = value
         elif key in SIM_KEYS:
             frames = int(value)
+        elif key == "faults":
+            if value is not None and not isinstance(value, Mapping):
+                raise ExploreError(
+                    f"'faults' must be a fault-spec object, got {value!r}"
+                )
+            fault_base = value
+        elif key == "fault_seed":
+            fault_seed = int(value)
         else:
             params[key] = value
     _validate_builder_params(spec.app, params)
+    faults = ""
+    if fault_seed is not None and fault_base is None:
+        raise ExploreError(
+            "'fault_seed' needs a 'faults' scenario to seed "
+            "(add a fixed 'faults' object)"
+        )
+    if fault_base is not None:
+        merged = dict(fault_base)
+        if fault_seed is not None:
+            merged["seed"] = fault_seed
+        faults = _canonical_faults(merged)
     return Job(
         sweep=spec.name,
         app=spec.app,
@@ -353,6 +411,7 @@ def _route(point: Mapping[str, Any], spec: SweepSpec) -> Job:
         options=_freeze(options),
         frames=frames,
         timeout_s=spec.timeout_s,
+        faults=faults,
     )
 
 

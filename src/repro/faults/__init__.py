@@ -1,0 +1,28 @@
+"""Deterministic fault injection and recovery for the simulated substrate.
+
+See :mod:`repro.faults.model` for the declarative scenario language and
+``docs/robustness.md`` for the full story: fault model, recovery
+policies (retry / migration / shedding), and degradation accounting.
+"""
+
+from .injector import FaultInjector
+from .model import (
+    ChannelFaults,
+    FaultSpec,
+    FaultStats,
+    PEFailure,
+    RecoveryPolicy,
+    TransientFaults,
+    load_fault_spec,
+)
+
+__all__ = [
+    "ChannelFaults",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultStats",
+    "PEFailure",
+    "RecoveryPolicy",
+    "TransientFaults",
+    "load_fault_spec",
+]

@@ -1,0 +1,67 @@
+"""Seeded fault-injection engine driven by a :class:`~repro.faults.FaultSpec`.
+
+The injector is the only source of randomness in a faulted simulation.
+It owns one :class:`random.Random` seeded from the spec, and every draw
+happens at a point whose order is fixed by the simulator's deterministic
+event ordering — so the whole degraded run is a pure function of
+``(spec, seed)`` and can be replayed bit for bit.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from .model import FaultSpec, FaultStats
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Decides, deterministically, where faults strike during one run."""
+
+    __slots__ = ("spec", "stats", "_rng", "_schedule", "_kernels",
+                 "_p_fault", "_p_drop", "_p_dup")
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+        self.stats = FaultStats()
+        self._rng = random.Random(spec.seed)
+        # Multiset: repeating (kernel, index) faults that many attempts.
+        self._schedule: Counter[tuple[str, int]] = Counter(
+            spec.transient.schedule
+        )
+        self._kernels = frozenset(spec.transient.kernels)
+        self._p_fault = spec.transient.probability
+        self._p_drop = spec.channel.drop_probability
+        self._p_dup = spec.channel.duplicate_probability
+
+    def firing_faulted(self, kernel: str, index: int) -> bool:
+        """Whether this firing attempt of ``kernel`` suffers a transient fault.
+
+        ``index`` is the count of the kernel's successful firings so far,
+        so retried attempts consult the same schedule entry again.
+        """
+        key = (kernel, index)
+        if self._schedule.get(key, 0) > 0:
+            self._schedule[key] -= 1
+            self.stats.injected += 1
+            return True
+        if self._p_fault > 0.0 and (not self._kernels
+                                    or kernel in self._kernels):
+            if self._rng.random() < self._p_fault:
+                self.stats.injected += 1
+                return True
+        return False
+
+    def transfer_dropped(self) -> bool:
+        if self._p_drop > 0.0 and self._rng.random() < self._p_drop:
+            self.stats.transfers_dropped += 1
+            return True
+        return False
+
+    def transfer_duplicated(self) -> bool:
+        if self._p_dup > 0.0 and self._rng.random() < self._p_dup:
+            self.stats.transfers_duplicated += 1
+            return True
+        return False

@@ -103,7 +103,11 @@ def anneal_placement(
     Classic Metropolis annealing over pairwise tile swaps with a geometric
     cooling schedule; the RNG is seeded so results are reproducible.
     """
-    procs = sorted(set(mapping.assignment.values()))
+    # Spares occupy tiles too — they must physically exist to be
+    # migration targets — but exchange no traffic until occupied.
+    procs = sorted(
+        set(mapping.assignment.values()) | set(getattr(mapping, "spares", ()))
+    )
     if len(procs) > chip.tile_count:
         raise PlacementError(
             f"{len(procs)} processors do not fit a chip of "

@@ -55,6 +55,7 @@ from typing import Iterator, Mapping
 import numpy as np
 
 from ..errors import SimulationError
+from ..faults import FaultInjector, FaultSpec, FaultStats
 from ..graph.app import ApplicationGraph
 from ..kernels.sources import ApplicationInput, ApplicationOutput, ConstantSource
 from ..machine.processor import ProcessorSpec
@@ -62,7 +63,13 @@ from ..tokens import ControlToken
 from ..transform.compile import CompiledApp
 from ..transform.multiplex import Mapping as KernelMapping
 from .functional import source_items
-from .runtime import Channel, Item, RuntimeKernel, build_runtime
+from .runtime import (
+    FORWARD_CYCLES,
+    Channel,
+    Item,
+    RuntimeKernel,
+    build_runtime,
+)
 from .stats import ProcessorStats, RealTimeVerdict, UtilizationSummary
 from .trace import TraceEvent, trace_digest
 
@@ -96,6 +103,58 @@ class SimulationOptions:
     throughput_tolerance: float = 0.05
     #: Safety valve on total events.
     max_events: int = 20_000_000
+    #: Fault scenario to inject (see :mod:`repro.faults`), or None for the
+    #: perfect substrate.  A plain dict is accepted and validated through
+    #: :meth:`repro.faults.FaultSpec.from_dict`.  A spec that cannot
+    #: inject anything (`spec.active()` false) leaves the simulator on its
+    #: zero-fault path, observably identical to passing None.
+    faults: FaultSpec | None = None
+
+    def __post_init__(self) -> None:
+        # Validate up front: a bad knob should name itself here, not
+        # surface as a baffling stall or index error deep in the event
+        # loop thousands of events later.
+        if self.frames < 0:
+            raise SimulationError(
+                f"SimulationOptions.frames must be non-negative, "
+                f"got {self.frames!r}"
+            )
+        if self.input_channel_capacity <= 0:
+            raise SimulationError(
+                f"SimulationOptions.input_channel_capacity must be "
+                f"positive, got {self.input_channel_capacity!r}"
+            )
+        if self.channel_capacity is not None and self.channel_capacity <= 0:
+            raise SimulationError(
+                f"SimulationOptions.channel_capacity must be positive or "
+                f"None, got {self.channel_capacity!r}"
+            )
+        for key, cap in (self.channel_capacity_overrides or {}).items():
+            if cap <= 0:
+                raise SimulationError(
+                    f"SimulationOptions.channel_capacity_overrides[{key!r}] "
+                    f"must be positive, got {cap!r}"
+                )
+        if self.throughput_tolerance < 0:
+            raise SimulationError(
+                f"SimulationOptions.throughput_tolerance must be "
+                f"non-negative, got {self.throughput_tolerance!r}"
+            )
+        if self.max_events <= 0:
+            raise SimulationError(
+                f"SimulationOptions.max_events must be positive, "
+                f"got {self.max_events!r}"
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultSpec):
+            if isinstance(self.faults, Mapping):
+                object.__setattr__(
+                    self, "faults", FaultSpec.from_dict(self.faults)
+                )
+            else:
+                raise SimulationError(
+                    f"SimulationOptions.faults must be a FaultSpec, a "
+                    f"mapping, or None, got {type(self.faults).__name__}"
+                )
 
 
 @dataclass(slots=True)
@@ -165,6 +224,8 @@ class SimulationResult:
     #: High-water mark of the event heap (perf counter, not an observable
     #: of the simulated schedule; excluded from :meth:`as_dict`).
     peak_heap: int = 0
+    #: Degradation accounting (all zeros unless a fault spec was active).
+    fault_stats: FaultStats = field(default_factory=FaultStats)
 
     def frame_completions(self, output: str, chunks_per_frame: int) -> list[float]:
         """Completion time of each full frame at ``output``."""
@@ -181,9 +242,12 @@ class SimulationResult:
         are considered identical when their ``as_dict()`` match exactly.
         Bulk payloads (received chunks, the trace) appear as counts plus
         content digests so golden fixtures stay reviewable; wall-clock
-        perf counters (``peak_heap``) are deliberately excluded.
+        perf counters (``peak_heap``) are deliberately excluded.  The
+        ``faults`` section appears only when a fault spec was active, so
+        fault-free runs keep the exact key set the golden conformance
+        fixtures were recorded with.
         """
-        return {
+        d = {
             "makespan_s": self.makespan_s,
             "events": self.events_processed,
             "utilization": self.utilization.as_dict(),
@@ -223,6 +287,10 @@ class SimulationResult:
                 "sha256": trace_digest(self.trace),
             },
         }
+        spec = self.options.faults
+        if spec is not None and spec.active():
+            d["faults"] = self.fault_stats.as_dict()
+        return d
 
     def verdict(
         self,
@@ -231,6 +299,7 @@ class SimulationResult:
         rate_hz: float,
         chunks_per_frame: int,
         frames: int | None = None,
+        allow_shedding: bool = False,
     ) -> RealTimeVerdict:
         """Real-time verdict at one application output.
 
@@ -239,12 +308,53 @@ class SimulationResult:
         and the input never overran.  The first frame's fill latency is
         excluded — the paper's model likewise treats initial latency as
         irrelevant to throughput.
+
+        With ``allow_shedding=True`` a run that shed data under faults is
+        judged on resynchronization instead of completeness: the frames
+        that did complete must land on the frame-period grid (each
+        completion interval within tolerance of an integer number of
+        periods), and the missing ones are reported as ``frames_shed``
+        rather than as a failure.  Without it, shed frames fail the
+        verdict exactly like any other missing frame — shedding is an
+        explicitly accepted degradation, never a silent one.
         """
         frames = frames if frames is not None else self.options.frames
         period = 1.0 / rate_hz
         completions = self.frame_completions(output, chunks_per_frame)
         overruns = len(self.violations)
+        fs = self.fault_stats
+        shed_activity = (fs.data_shed + fs.transfers_dropped) > 0
+        missing = max(0, frames - len(completions))
+        frames_shed = missing if shed_activity else 0
         if len(completions) < frames:
+            if allow_shedding and shed_activity and len(completions) >= 1:
+                intervals = [
+                    b - a for a, b in zip(completions, completions[1:])
+                ]
+                worst = max(intervals) if intervals else 0.0
+                tol = period * self.options.throughput_tolerance
+                # Resync criterion: a gap of k shed frames shows up as an
+                # interval of ~k+1 periods; any drift off the period grid
+                # means the stream never resynchronized after shedding.
+                ok = all(
+                    abs(iv - max(1, round(iv / period)) * period) <= tol
+                    for iv in intervals
+                )
+                reason = ("" if ok
+                          else "shed stream did not resync to frame period")
+                if overruns:
+                    ok = False
+                    reason = "input overran its consumer"
+                return RealTimeVerdict(
+                    meets=ok,
+                    frames_expected=frames,
+                    frames_completed=len(completions),
+                    worst_interval_s=worst,
+                    frame_period_s=period,
+                    input_overruns=overruns,
+                    reason=reason,
+                    frames_shed=frames_shed,
+                )
             return RealTimeVerdict(
                 meets=False,
                 frames_expected=frames,
@@ -253,6 +363,7 @@ class SimulationResult:
                 frame_period_s=period,
                 input_overruns=overruns,
                 reason="not all frames completed",
+                frames_shed=frames_shed,
             )
         intervals = [
             b - a for a, b in zip(completions, completions[1:frames])
@@ -283,7 +394,7 @@ class _ProcState:
     """Mutable per-processor record resolved once before the event loop."""
 
     __slots__ = ("index", "free_at", "pending", "read_s", "run_s", "write_s",
-                 "firings", "kernels")
+                 "firings", "kernels", "dead_at", "dead", "slow", "moved_to")
 
     def __init__(self, index: int) -> None:
         self.index = index
@@ -294,6 +405,12 @@ class _ProcState:
         self.write_s = 0.0
         self.firings = 0
         self.kernels: set[str] = set()
+        # Fault-model state; inert (and never consulted) on the
+        # zero-fault path.
+        self.dead_at: float | None = None
+        self.dead = False
+        self.slow = 1.0
+        self.moved_to: "_ProcState | None" = None
 
     def to_stats(self) -> ProcessorStats:
         return ProcessorStats(
@@ -308,7 +425,7 @@ class _KernelState:
 
     __slots__ = ("rk", "name", "proc", "running", "out", "wake",
                  "out_channels", "max_emissions", "is_output", "output_times",
-                 "ready", "execute")
+                 "ready", "execute", "attempts", "fault_since")
 
     def __init__(self, rk: RuntimeKernel, proc: _ProcState | None) -> None:
         self.rk = rk
@@ -317,6 +434,10 @@ class _KernelState:
         self.execute = rk.execute
         self.proc = proc
         self.running = False
+        #: Consecutive faulted attempts of the current firing (retry state).
+        self.attempts = 0
+        #: Time the current fault burst started, for recovery latency.
+        self.fault_since = 0.0
         #: port -> tuple of (channel, consumer state, overrun-checked?).
         self.out: dict[str, tuple] = {}
         #: port -> producer state, for backpressure wake-ups (bounded runs).
@@ -325,6 +446,51 @@ class _KernelState:
         self.max_emissions = rk.kernel.max_emissions_per_firing
         self.is_output = isinstance(rk.kernel, ApplicationOutput)
         self.output_times: list[float] = []
+
+
+def _resync_shed(st: _KernelState, fstats: FaultStats) -> bool:
+    """Frame-level resynchronization at a multi-input join (shed mode).
+
+    After data has been lost (a shed firing upstream, a dropped
+    transfer), a join can starve: one input presents its end-of-frame
+    token while a sibling still presents unmatched data that will never
+    get its partner.  Left alone the join deadlocks and the stream never
+    recovers.  The shedding policy instead drains the unmatched data up
+    to each input's own token — abandoning the rest of the degraded
+    frame — so the tokens align, the frame boundary forwards, and the
+    next frame starts clean.  Returns True when anything was dropped.
+
+    Only triggers on a genuine mismatch (token head on one input of a
+    multi-input method, data head on another), which on a fault-free run
+    is impossible: the unit-rate invariant keeps sibling inputs in
+    lock-step.
+    """
+    rk = st.rk
+    dropped = False
+    seen: list = []
+    for port in rk._ports:
+        method = rk._data_method.get(port)
+        if method is None or len(method.data_inputs) <= 1 or method in seen:
+            continue
+        seen.append(method)
+        chans = [rk.inputs.get(p) for p in method.data_inputs]
+        if any(ch is None for ch in chans):
+            continue
+        heads = [ch.items[0] if ch.items else None for ch in chans]
+        has_token = any(isinstance(h, ControlToken) for h in heads)
+        has_data = any(
+            h is not None and not isinstance(h, ControlToken) for h in heads
+        )
+        if not (has_token and has_data):
+            continue
+        for ch in chans:
+            items = ch.items
+            while items and not isinstance(items[0], ControlToken):
+                ch.seqs.popleft()
+                items.popleft()
+                fstats.data_shed += 1
+                dropped = True
+    return dropped
 
 
 def _timed_source_items(
@@ -413,6 +579,39 @@ class Simulator:
                 if ch.capacity is not None
             }
 
+        # --- fault machinery (fully inert when no spec is active) --------
+        fault_spec = opts.faults
+        if fault_spec is not None and not fault_spec.active():
+            fault_spec = None
+        injector: FaultInjector | None = None
+        recovery = None
+        fstats = FaultStats()
+        spare_pool: list[int] = []
+        dead_map: dict[int, float] = {}
+        slow_map: dict[int, float] = {}
+        ch_faulted: set[int] | None = None
+        if fault_spec is not None:
+            injector = FaultInjector(fault_spec)
+            fstats = injector.stats
+            recovery = fault_spec.recovery
+            dead_map = {f.processor: f.time_s for f in fault_spec.pe_failures}
+            slow_map = dict(fault_spec.slow_pes)
+            for proc, ps in proc_states.items():
+                ps.dead_at = dead_map.get(proc)
+                ps.slow = slow_map.get(proc, 1.0)
+            spare_pool = [
+                p for p in getattr(self.mapping, "spares", ())
+                if p not in proc_states
+            ]
+            chf = fault_spec.channel
+            if chf.drop_probability > 0.0 or chf.duplicate_probability > 0.0:
+                edges = set(chf.edges)
+                ch_faulted = {
+                    id(ch) for ch in channels
+                    if not edges
+                    or (ch.src, ch.src_port, ch.dst, ch.dst_port) in edges
+                }
+
         violations: list[_Violation] = []
         trace: list[TraceEvent] = []
         trace_on = opts.trace
@@ -435,7 +634,15 @@ class Simulator:
         def deliver(time: float, st_src: _KernelState, port: str, item) -> None:
             nonlocal peak_heap
             is_token = isinstance(item, ControlToken)
+            dup = False
             for ch, dst, checked in st_src.out.get(port, ()):
+                if (ch_faulted is not None and not is_token
+                        and id(ch) in ch_faulted):
+                    # Interconnect faults strike per data transfer; control
+                    # tokens ride the reliable control plane.
+                    if injector.transfer_dropped():
+                        continue
+                    dup = injector.transfer_duplicated()
                 # Channel.push, inlined: stamp, count, track occupancy.
                 items = ch.items
                 items.append(item)
@@ -457,6 +664,25 @@ class Simulator:
                             detail="input overran its consumer",
                         )
                     )
+                if dup:
+                    # Replayed transfer: the consumer sees the item twice,
+                    # with full stamp/occupancy/overrun accounting.
+                    dup = False
+                    items.append(item)
+                    counter.value = stamp = counter.value + 1
+                    ch.seqs.append(stamp)
+                    ch.total_data += 1
+                    occupancy = len(items)
+                    if occupancy > ch.max_occupancy:
+                        ch.max_occupancy = occupancy
+                    if checked and occupancy > input_cap:
+                        violations.append(
+                            _Violation(
+                                time=time,
+                                where=f"{ch.src}->{ch.dst}.{ch.dst_port}",
+                                detail="input overran its consumer",
+                            )
+                        )
                 if queued_polls.get(dst) != time:
                     queued_polls[dst] = time
                     heappush(events, (time, _POLL, next_seq(), dst))
@@ -511,6 +737,56 @@ class Simulator:
         rcpe = self.processor.read_cycles_per_element
         wcpe = self.processor.write_cycles_per_element
 
+        def on_dead(ps: _ProcState, time: float) -> None:
+            """Observe (lazily, at a poll) that ``ps`` is past its death time.
+
+            Fail-stop at firing boundaries: an in-flight firing completes,
+            then the element never starts another.  The first observation
+            marks it dead and — policy and spares permitting — migrates
+            its whole kernel group to a spare element, which only accepts
+            work after ``migration_cycles`` of state transfer.  Spares
+            inherit the scenario's slow/death schedule, so a doomed spare
+            chains into the next migration.
+            """
+            nonlocal peak_heap
+            if ps.dead:
+                return
+            ps.dead = True
+            fstats.pe_deaths += 1
+            if recovery.migrate and spare_pool:
+                new_idx = spare_pool.pop(0)
+                new = proc_states.get(new_idx)
+                if new is None:
+                    new = proc_states[new_idx] = _ProcState(new_idx)
+                    new.dead_at = dead_map.get(new_idx)
+                    new.slow = slow_map.get(new_idx, 1.0)
+                ready_at = time + recovery.migration_cycles / clock
+                if new.free_at < ready_at:
+                    new.free_at = ready_at
+                fstats.migrations += 1
+                fstats.recovery_latency_s += ready_at - ps.dead_at
+                new.kernels |= ps.kernels
+                for kst in ps.pending:
+                    if kst not in new.pending:
+                        new.pending.append(kst)
+                ps.pending.clear()
+                # Sorted for determinism: set order varies across
+                # processes (hash randomization), replays must not.
+                for name in sorted(ps.kernels):
+                    kst = states[name]
+                    kst.proc = new
+                    if queued_polls.get(kst) != ready_at:
+                        queued_polls[kst] = ready_at
+                        heappush(events, (ready_at, _POLL, next_seq(), kst))
+                if len(events) > peak_heap:
+                    peak_heap = len(events)
+                ps.moved_to = new
+            else:
+                # No spare (or no migration policy): the group stalls
+                # forever — a permanent, unrecovered service loss.
+                fstats.unrecovered += 1
+                ps.moved_to = None
+
         while events:
             time, kind, _, payload = heappop(events)
             makespan = time  # heap pops are time-ordered: last pop wins
@@ -554,6 +830,12 @@ class Simulator:
                         for port, item in result.emissions:
                             deliver(time, st, port, item)
                 else:
+                    if (injector is not None and ps.dead_at is not None
+                            and time >= ps.dead_at):
+                        # Dead element: migrate its kernels (or stall them
+                        # forever); either way this poll is over.
+                        on_dead(ps, time)
+                        continue
                     if ps.free_at > time:
                         pending = ps.pending
                         if st not in pending:
@@ -561,7 +843,13 @@ class Simulator:
                         continue
                     firing = st.ready()
                     if firing is None:
-                        continue
+                        if (injector is not None and recovery.shed
+                                and (fstats.data_shed
+                                     or fstats.transfers_dropped)
+                                and _resync_shed(st, fstats)):
+                            firing = st.ready()
+                        if firing is None:
+                            continue
                     if bounded:
                         me = st.max_emissions
                         blocked = False
@@ -574,7 +862,79 @@ class Simulator:
                             # Backpressure stall: re-polled when a
                             # consumer frees space.
                             continue
+                    if injector is not None:
+                        # The firing index counts *executed* firings, so a
+                        # retried attempt consults the same schedule slot.
+                        if injector.firing_faulted(st.name, st.rk.firings):
+                            if st.attempts < recovery.max_retries:
+                                # Retry with backoff: the element burns the
+                                # attempt's declared cycles detecting the
+                                # fault, then idles through the backoff.
+                                if st.attempts == 0:
+                                    st.fault_since = time
+                                st.attempts += 1
+                                fstats.retries += 1
+                                method = firing.method
+                                declared = (method.cost.cycles
+                                            if method is not None
+                                            else FORWARD_CYCLES)
+                                detect_s = declared / clock * ps.slow
+                                backoff_s = (recovery.backoff_cycles
+                                             * st.attempts / clock)
+                                ps.run_s += detect_s
+                                ps.free_at = time + detect_s + backoff_s
+                                st.running = True
+                                if trace_on:
+                                    label = (method.name
+                                             if method is not None
+                                             else "<forward>")
+                                    trace.append(TraceEvent(
+                                        start_s=time, processor=ps.index,
+                                        kernel=st.name,
+                                        method=f"fault:{label}",
+                                        read_s=0.0, run_s=detect_s,
+                                        write_s=0.0,
+                                    ))
+                                heappush(events,
+                                         (ps.free_at, _FINISH, next_seq(),
+                                          (st, None)))
+                                if len(events) > peak_heap:
+                                    peak_heap = len(events)
+                                continue
+                            # Retries exhausted: the firing still runs (its
+                            # inputs must drain for the stream to advance)
+                            # but its data is sacrificed below.
+                            faulted_final = True
+                            fstats.unrecovered += 1
+                            st.attempts = 0
+                        else:
+                            if st.attempts:
+                                fstats.recovered += 1
+                                fstats.recovery_latency_s += \
+                                    time - st.fault_since
+                                st.attempts = 0
+                            faulted_final = False
                     result = st.execute(firing)
+                    if injector is not None and faulted_final:
+                        if recovery.shed:
+                            # Shed: drop the data, keep the control tokens
+                            # so the frame structure resynchronizes.
+                            kept = [
+                                (p, it) for p, it in result.emissions
+                                if isinstance(it, ControlToken)
+                            ]
+                            fstats.data_shed += \
+                                len(result.emissions) - len(kept)
+                            result.emissions = kept
+                        else:
+                            # No shedding: corrupted (zeroed) data flows
+                            # on — the silent-divergence baseline.
+                            fstats.corrupted += 1
+                            result.emissions = [
+                                (p, np.zeros_like(it)
+                                 if isinstance(it, np.ndarray) else it)
+                                for p, it in result.emissions
+                            ]
                     if bounded:
                         for port in firing.consume_ports:
                             src = st.wake.get(port)
@@ -592,6 +952,11 @@ class Simulator:
                     read_s = result.elements_read * rcpe / clock
                     run_s = result.cycles / clock
                     write_s = result.elements_written * wcpe / clock
+                    if injector is not None and ps.slow != 1.0:
+                        slow = ps.slow
+                        read_s *= slow
+                        run_s *= slow
+                        write_s *= slow
                     duration = read_s + run_s + write_s
                     ps.read_s += read_s
                     ps.run_s += run_s
@@ -620,8 +985,12 @@ class Simulator:
                     )
                 st, result = payload
                 st.running = False
-                for port, item in result.emissions:
-                    deliver(time, st, port, item)
+                if result is not None:
+                    for port, item in result.emissions:
+                        deliver(time, st, port, item)
+                # A None result is a retry sentinel: the faulted attempt's
+                # detect+backoff window just ended, so the kernel re-polls
+                # (below) and attempts the same firing again.
                 ps = st.proc
                 if ps is not None:
                     pending = ps.pending
@@ -687,6 +1056,7 @@ class Simulator:
             budget_overruns=budget_overruns,
             events_processed=processed,
             peak_heap=peak_heap,
+            fault_stats=fstats,
         )
 
 

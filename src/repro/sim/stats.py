@@ -119,6 +119,10 @@ class RealTimeVerdict:
     frame_period_s: float
     input_overruns: int
     reason: str = ""
+    #: Frames that never completed because the recovery policy shed their
+    #: data (see docs/robustness.md); informational unless the verdict was
+    #: evaluated with ``allow_shedding=True``.
+    frames_shed: int = 0
 
     def as_dict(self) -> dict:
         """Machine-readable form (the CLI's ``--json`` output)."""
@@ -133,6 +137,7 @@ class RealTimeVerdict:
             "frame_period_s": self.frame_period_s,
             "input_overruns": self.input_overruns,
             "reason": self.reason,
+            "frames_shed": self.frames_shed,
         }
 
     def describe(self) -> str:
@@ -143,5 +148,6 @@ class RealTimeVerdict:
             f"{self.worst_interval_s * 1e3:.3f} ms vs period "
             f"{self.frame_period_s * 1e3:.3f} ms, "
             f"{self.input_overruns} input overruns"
+            + (f", {self.frames_shed} frames shed" if self.frames_shed else "")
             + (f" ({self.reason})" if self.reason else "")
         )

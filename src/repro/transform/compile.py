@@ -54,6 +54,9 @@ class CompileOptions:
     #: Disable to compile without the parallelization pass — an ablation
     #: that demonstrates the real-time miss the pass exists to prevent.
     parallelize: bool = True
+    #: Idle processing elements the mapper reserves as migration targets
+    #: for fault recovery (see :mod:`repro.faults`).
+    spare_processors: int = 0
 
 
 @dataclass(slots=True)
@@ -142,9 +145,13 @@ def compile_application(
     )
 
     if options.mapping == "greedy":
-        mapping = map_greedy(work, resources)
+        mapping = map_greedy(
+            work, resources, spare_processors=options.spare_processors
+        )
     else:
-        mapping = map_one_to_one(work)
+        mapping = map_one_to_one(
+            work, spare_processors=options.spare_processors
+        )
 
     return CompiledApp(
         source=app,

@@ -60,9 +60,14 @@ class Mapping:
     app: ApplicationGraph
     assignment: TMapping[str, int]
     strategy: str
+    #: Idle processing elements reserved as migration targets for the
+    #: fault-recovery runtime (see :mod:`repro.faults`).  They host no
+    #: kernels until a mapped element dies.
+    spares: tuple[int, ...] = ()
 
     @property
     def processor_count(self) -> int:
+        """Elements hosting kernels; spares count only once occupied."""
         return len(set(self.assignment.values())) if self.assignment else 0
 
     def processors(self) -> dict[int, list[str]]:
@@ -77,13 +82,26 @@ class Mapping:
     def describe(self) -> str:
         lines = [
             f"{self.strategy} mapping: {self.processor_count} processors"
+            + (f" (+{len(self.spares)} spares)" if self.spares else "")
         ]
         for proc, members in self.processors().items():
             lines.append(f"  PE{proc}: {', '.join(members)}")
+        for proc in self.spares:
+            lines.append(f"  PE{proc}: <spare>")
         return "\n".join(lines)
 
 
-def map_one_to_one(app: ApplicationGraph) -> Mapping:
+def _reserve_spares(next_proc: int, count: int) -> tuple[int, ...]:
+    if count < 0:
+        raise MappingError(
+            f"spare_processors must be non-negative, got {count!r}"
+        )
+    return tuple(range(next_proc, next_proc + count))
+
+
+def map_one_to_one(
+    app: ApplicationGraph, *, spare_processors: int = 0
+) -> Mapping:
     """Each on-chip kernel on its own processing element (Figure 12(a))."""
     assignment: dict[str, int] = {}
     proc = 0
@@ -92,7 +110,8 @@ def map_one_to_one(app: ApplicationGraph) -> Mapping:
             continue
         assignment[name] = proc
         proc += 1
-    return Mapping(app=app, assignment=assignment, strategy="1:1")
+    return Mapping(app=app, assignment=assignment, strategy="1:1",
+                   spares=_reserve_spares(proc, spare_processors))
 
 
 def map_greedy(
@@ -100,6 +119,7 @@ def map_greedy(
     resources: ResourceAnalysis,
     *,
     cpu_capacity: float = 1.0,
+    spare_processors: int = 0,
 ) -> Mapping:
     """Greedy time-multiplexed mapping (Section V, Figure 12(b)).
 
@@ -158,4 +178,5 @@ def map_greedy(
         load[placed] += util
         mem[placed] += words
 
-    return Mapping(app=app, assignment=assignment, strategy="greedy")
+    return Mapping(app=app, assignment=assignment, strategy="greedy",
+                   spares=_reserve_spares(next_proc, spare_processors))

@@ -348,6 +348,54 @@ class TestSimulatorProperties:
                 assert got >= reference
         assert tight.makespan_s >= free.makespan_s
 
+    @given(pipelines(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_inactive_fault_spec_is_observation_free(self, case, seed):
+        """A fault spec that cannot inject anything (zero probabilities,
+        empty schedules, unit multipliers) leaves every observable —
+        including the recorded trace — identical to running with no
+        spec at all, whatever its seed."""
+        from repro.faults import FaultSpec
+
+        app, extent, rate = case
+        compiled = self._compile(app)
+        spec = FaultSpec(
+            seed=seed,
+            slow_pes=((0, 1.0),),  # present but inert: unit multiplier
+        )
+        assert not spec.active()
+        with_spec = simulate(
+            compiled, SimulationOptions(frames=1, trace=True, faults=spec)
+        )
+        without = simulate(compiled, SimulationOptions(frames=1, trace=True))
+        assert "faults" not in with_spec.as_dict()
+        assert with_spec.as_dict() == without.as_dict()
+        assert with_spec.trace == without.trace
+        assert with_spec.events_processed == without.events_processed
+
+    @given(pipelines(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_faulted_runs_are_bit_reproducible(self, case, seed):
+        """Everything an active fault scenario does is a pure function
+        of (spec, seed): repeating the simulation reproduces the same
+        faults, recoveries, and timings bit for bit."""
+        from repro.faults import FaultSpec
+
+        app, extent, rate = case
+        compiled = self._compile(app)
+        spec = FaultSpec.from_dict({
+            "seed": seed,
+            "transient": {"probability": 0.05},
+            "channel": {"drop_probability": 0.01},
+            "recovery": {"max_retries": 2, "backoff_cycles": 8,
+                         "shed": True},
+        })
+        first = simulate(compiled, SimulationOptions(frames=1, faults=spec))
+        second = simulate(compiled, SimulationOptions(frames=1, faults=spec))
+        assert first.as_dict() == second.as_dict()
+        assert first.fault_stats.as_dict() == second.fault_stats.as_dict()
+        assert first.events_processed == second.events_processed
+
     @given(pipelines())
     @settings(max_examples=10, deadline=None)
     def test_trace_flag_is_observation_free(self, case):
