@@ -28,7 +28,17 @@ See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
 the paper-figure reproductions.
 """
 
-from . import analysis, apps, explore, faults, kernels, machine, sim, transform
+from . import (
+    analysis,
+    apps,
+    explore,
+    faults,
+    kernels,
+    machine,
+    obs,
+    sim,
+    transform,
+)
 from .errors import (
     AlignmentError,
     AnalysisError,
@@ -65,6 +75,7 @@ __all__ = [
     "faults",
     "kernels",
     "machine",
+    "obs",
     "sim",
     "transform",
     "AlignmentError",

@@ -6,6 +6,7 @@
     python -m repro describe SS               # logical graph of a benchmark
     python -m repro compile SS                # run the compiler, print report
     python -m repro simulate SS --frames 4    # timing-accurate simulation
+    python -m repro profile SS --perfetto out.json   # telemetry + critical path
     python -m repro dot SS --compiled         # Graphviz export
     python -m repro suite                     # the Figure 13 table
     python -m repro explore sweep.json --workers 4   # design-space sweep
@@ -92,11 +93,32 @@ def cmd_compile(args: argparse.Namespace) -> int:
 def cmd_simulate(args: argparse.Namespace) -> int:
     bench, compiled = _compile(args.key, args)
     fault_spec = _fault_spec(args)
+    telemetry_on = bool(
+        getattr(args, "perfetto", None) or getattr(args, "spans", None)
+        or getattr(args, "critical_path", False)
+    )
     sim_started = time.perf_counter()
     result = simulate(
-        compiled, SimulationOptions(frames=args.frames, faults=fault_spec)
+        compiled,
+        SimulationOptions(frames=args.frames, faults=fault_spec,
+                          telemetry=telemetry_on),
     )
     sim_elapsed = time.perf_counter() - sim_started
+    path_report = None
+    if telemetry_on:
+        from .obs import (
+            analyze_critical_path,
+            write_perfetto,
+            write_spans_jsonl,
+        )
+
+        tele = result.telemetry
+        if args.perfetto:
+            write_perfetto(tele, args.perfetto, app=bench.key)
+        if args.spans:
+            write_spans_jsonl(tele, args.spans)
+        if args.critical_path:
+            path_report = analyze_critical_path(tele)
     shedding = fault_spec is not None and fault_spec.recovery.shed
     verdict = result.verdict(
         bench.output, rate_hz=bench.rate_hz,
@@ -124,6 +146,13 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         }
         if faults_active:
             payload["faults"] = result.fault_stats.as_dict()
+        if telemetry_on:
+            payload["telemetry"] = {
+                "spans": result.telemetry.span_counts(),
+                "dropped_spans": result.telemetry.dropped_spans,
+            }
+        if path_report is not None:
+            payload["critical_path"] = path_report.as_dict()
         if args.bench:
             payload["bench"] = bench_stats
         print(json.dumps(payload, indent=2))
@@ -133,6 +162,13 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             print(result.fault_stats.describe())
         print()
         print(result.utilization.describe())
+        if args.perfetto:
+            print(f"wrote Perfetto trace to {args.perfetto}")
+        if args.spans:
+            print(f"wrote span stream to {args.spans}")
+        if path_report is not None:
+            print()
+            print(path_report.describe())
         if args.bench:
             print()
             print(
@@ -206,7 +242,75 @@ def cmd_trace(args: argparse.Namespace) -> int:
     result = simulate(
         compiled, SimulationOptions(frames=args.frames, trace=True)
     )
+    if not result.trace:
+        # An empty Gantt renders as blank rows and looks like success;
+        # say why there is nothing to chart and fail loudly instead.
+        print(
+            f"error: benchmark {bench.key!r} recorded no firings with "
+            f"--frames {args.frames}; nothing to chart",
+            file=sys.stderr,
+        )
+        return 1
     print(gantt(result.trace, width=args.width))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from .obs import (
+        analyze_critical_path,
+        timeline,
+        write_perfetto,
+        write_spans_jsonl,
+    )
+
+    bench, compiled = _compile(args.key, args)
+    fault_spec = _fault_spec(args)
+    result = simulate(
+        compiled,
+        SimulationOptions(frames=args.frames, faults=fault_spec,
+                          telemetry=True),
+    )
+    tele = result.telemetry
+    report = analyze_critical_path(tele)
+    if args.perfetto:
+        write_perfetto(tele, args.perfetto, app=bench.key)
+    if args.spans:
+        write_spans_jsonl(tele, args.spans)
+    if args.json:
+        print(json.dumps({
+            "benchmark": bench.key,
+            "frames": args.frames,
+            "makespan_s": result.makespan_s,
+            "telemetry": tele.as_dict(),
+            "critical_path": report.as_dict(),
+        }, indent=2))
+        return 0
+    counts = tele.span_counts()
+    print(
+        f"benchmark {bench.key} ({bench.title}): "
+        f"{result.makespan_s * 1e3:.3f} ms makespan, "
+        + ", ".join(f"{v} {k}" for k, v in counts.items())
+    )
+    rows = [
+        (labels.get("kernel", ""), h)
+        for name, labels, h in tele.metrics.histograms()
+        if name == "firing_latency_s"
+    ]
+    rows.sort(key=lambda kv: (-kv[1].total, kv[0]))
+    if rows:
+        print("kernel firing latency (firings / mean / p99):")
+        for kernel, h in rows[:8]:
+            print(f"  {kernel:<24} {h.count:>7} / {h.mean * 1e6:9.2f} us "
+                  f"/ {h.quantile(0.99) * 1e6:9.2f} us")
+    print()
+    print(report.describe())
+    if args.timeline:
+        print()
+        print(timeline(tele, width=args.width))
+    if args.perfetto:
+        print(f"wrote Perfetto trace to {args.perfetto}")
+    if args.spans:
+        print(f"wrote span stream to {args.spans}")
     return 0
 
 
@@ -336,6 +440,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="exit nonzero on real-time violations or "
                         "unrecovered faults (CI gate)")
+    p.add_argument("--perfetto", default=None, metavar="OUT",
+                   help="record telemetry and write a Perfetto/Chrome "
+                        "trace_event JSON file (load at ui.perfetto.dev)")
+    p.add_argument("--spans", default=None, metavar="OUT",
+                   help="record telemetry and write the span stream "
+                        "as JSON lines")
+    p.add_argument("--critical-path", action="store_true",
+                   dest="critical_path",
+                   help="record telemetry and report the critical path")
 
     p = sub.add_parser("dot", help="export a benchmark graph as Graphviz dot")
     p.add_argument("key")
@@ -362,6 +475,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("key")
     p.add_argument("--frames", type=int, default=1)
     p.add_argument("--width", type=int, default=100)
+
+    p = sub.add_parser(
+        "profile",
+        help="simulate with full telemetry: metrics, critical path, hints",
+    )
+    p.add_argument("key")
+    p.add_argument("--frames", type=int, default=4)
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    p.add_argument("--perfetto", default=None, metavar="OUT",
+                   help="write a Perfetto/Chrome trace_event JSON file")
+    p.add_argument("--spans", default=None, metavar="OUT",
+                   help="write the span stream as JSON lines")
+    p.add_argument("--timeline", action="store_true",
+                   help="print the text Gantt + channel occupancy view")
+    p.add_argument("--width", type=int, default=100)
+    p.add_argument("--faults", default=None, metavar="FILE",
+                   help="inject a fault scenario (JSON FaultSpec file)")
+    p.add_argument("--fault-seed", type=int, default=None, dest="fault_seed",
+                   help="override the fault spec's seed")
+    p.add_argument("--spares", type=int, default=0,
+                   help="spare processing elements reserved for migration")
 
     p = sub.add_parser("suite", help="run the Figure 13 table")
     p.add_argument("--json", action="store_true",
@@ -398,6 +533,7 @@ _COMMANDS = {
     "dot": cmd_dot,
     "schedule": cmd_schedule,
     "trace": cmd_trace,
+    "profile": cmd_profile,
     "energy": cmd_energy,
     "suite": cmd_suite,
     "explore": cmd_explore,

@@ -171,7 +171,9 @@ def execute_job(job: Job) -> dict[str, Any]:
     fault_spec = job.fault_spec()
     sim_started = time.perf_counter()
     result = simulate(
-        compiled, SimulationOptions(frames=job.frames, faults=fault_spec)
+        compiled,
+        SimulationOptions(frames=job.frames, faults=fault_spec,
+                          telemetry=job.telemetry),
     )
     sim_elapsed = time.perf_counter() - sim_started
     output, chunks_per_frame, rate_hz = job.measurement()
@@ -209,6 +211,15 @@ def execute_job(job: Job) -> dict[str, Any]:
         stats["faults"] = result.fault_stats.as_dict()
         stats["frames_shed"] = verdict.frames_shed
         stats["unrecovered_faults"] = result.fault_stats.unrecovered
+    if result.telemetry is not None:
+        from ..obs import analyze_critical_path
+
+        path = analyze_critical_path(result.telemetry)
+        stats["telemetry"] = {
+            "spans": result.telemetry.span_counts(),
+            "dropped_spans": result.telemetry.dropped_spans,
+            "critical_path": path.as_dict(),
+        }
     return stats
 
 

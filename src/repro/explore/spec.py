@@ -13,7 +13,9 @@ Axis keys route automatically by name:
   :class:`~repro.machine.ProcessorSpec`;
 * ``mapping``, ``parallelize``, ``fuse_pipelines``, ``utilization_target``,
   ``alignment_policy`` configure :class:`~repro.transform.CompileOptions`;
-* ``frames`` configures the simulation;
+* ``frames`` configures the simulation; ``telemetry`` (bool) additionally
+  collects :mod:`repro.obs` telemetry and carries a critical-path summary
+  in the result record;
 * everything else is passed to the application builder (validated against
   its signature at expansion time, so typos fail before any job runs).
 
@@ -150,6 +152,9 @@ class Job:
     #: perfect substrate.  Canonical so equivalent scenarios share a
     #: fingerprint and hit the same cache entry.
     faults: str = ""
+    #: Collect simulation telemetry (see :mod:`repro.obs`) and carry a
+    #: critical-path summary in the result record.
+    telemetry: bool = False
     _fingerprint: str = field(default="", compare=False, repr=False)
 
     # -- construction helpers ------------------------------------------
@@ -170,6 +175,8 @@ class Job:
         spec = self.fault_spec()
         if spec is not None:
             bits.append(f"faults[seed={spec.seed}]")
+        if self.telemetry:
+            bits.append("telemetry")
         return f"{self.app}({', '.join(bits)})" if bits else self.app
 
     def fault_spec(self) -> "FaultSpec | None":
@@ -239,6 +246,7 @@ class Job:
             "timeout_s": self.timeout_s,
             "inject": self.inject_dict,
             "faults": json.loads(self.faults) if self.faults else None,
+            "telemetry": self.telemetry,
             "fingerprint": self.fingerprint,
         }
 
@@ -254,6 +262,7 @@ class Job:
             timeout_s=float(data.get("timeout_s", 300.0)),
             inject=_freeze(data.get("inject", {})),
             faults=_canonical_faults(data.get("faults")),
+            telemetry=bool(data.get("telemetry", False)),
             _fingerprint=data.get("fingerprint", ""),
         )
 
@@ -290,6 +299,10 @@ def compute_fingerprint(job: Job) -> str:
         "inject": job.inject_dict,
         "faults": job.faults or None,
     }
+    # Only when on: pre-telemetry fingerprints (and their cached
+    # results) must stay valid for the default-off configuration.
+    if job.telemetry:
+        payload["telemetry"] = True
     try:
         payload["graph"] = graph_fingerprint(job.build_app())
     except GraphError:
@@ -372,6 +385,7 @@ def _route(point: Mapping[str, Any], spec: SweepSpec) -> Job:
     processor: dict[str, Any] = {}
     options: dict[str, Any] = {}
     frames = spec.frames
+    telemetry = False
     fault_base: Mapping[str, Any] | None = None
     fault_seed: int | None = None
     for key, value in point.items():
@@ -381,6 +395,8 @@ def _route(point: Mapping[str, Any], spec: SweepSpec) -> Job:
             options[key] = value
         elif key in SIM_KEYS:
             frames = int(value)
+        elif key == "telemetry":
+            telemetry = bool(value)
         elif key == "faults":
             if value is not None and not isinstance(value, Mapping):
                 raise ExploreError(
@@ -412,6 +428,7 @@ def _route(point: Mapping[str, Any], spec: SweepSpec) -> Job:
         frames=frames,
         timeout_s=spec.timeout_s,
         faults=faults,
+        telemetry=telemetry,
     )
 
 

@@ -1,0 +1,359 @@
+"""Telemetry collection: the runtime hook seam and its finished product.
+
+:class:`TelemetryCollector` is what the simulator's event loop talks to,
+through the same ``is not None`` gating the fault injector uses — when
+telemetry is off the loop carries a single precomputed ``None`` local
+and the hot path is unchanged (the conformance fixtures and hot-path
+benchmark hold this).  Each hook is one call per observed event; metrics
+update online, spans append to a (optionally bounded) list.
+
+:class:`Telemetry` is the immutable-ish result attached to
+:class:`~repro.sim.SimulationResult` when enabled: the span stream, the
+metrics registry, and derived per-processor busy/idle accounting that is
+provably consistent with :class:`~repro.sim.ProcessorStats` (the test
+suite asserts summed span durations equal stats busy time).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..errors import SimulationError
+from .metrics import DEFAULT_RESERVOIR, MetricsRegistry
+from .spans import (
+    FaultSpan,
+    FiringSpan,
+    IdleSpan,
+    Span,
+    StallSpan,
+    TransferSpan,
+    WaitSpan,
+    span_as_dict,
+    spans_digest,
+)
+
+__all__ = ["TelemetryConfig", "TelemetryCollector", "Telemetry"]
+
+#: Gap shorter than this (relative to makespan) is float noise, not idle.
+_IDLE_EPS = 1e-12
+
+
+@dataclass(frozen=True, slots=True)
+class TelemetryConfig:
+    """Knobs for telemetry collection."""
+
+    #: Hard cap on retained spans (None = unbounded).  Metrics always
+    #: cover the full run; spans past the cap are counted as dropped.
+    max_spans: int | None = None
+    #: Histogram reservoir size (see :mod:`repro.obs.metrics`).
+    reservoir_size: int = DEFAULT_RESERVOIR
+
+    def __post_init__(self) -> None:
+        if self.max_spans is not None and self.max_spans <= 0:
+            raise SimulationError(
+                f"TelemetryConfig.max_spans must be positive or None, "
+                f"got {self.max_spans!r}"
+            )
+        if self.reservoir_size <= 0:
+            raise SimulationError(
+                f"TelemetryConfig.reservoir_size must be positive, "
+                f"got {self.reservoir_size!r}"
+            )
+
+    @classmethod
+    def coerce(cls, value: Any) -> "TelemetryConfig | None":
+        """Normalize the ``SimulationOptions.telemetry`` knob.
+
+        ``None``/``False`` disable telemetry; ``True`` enables it with
+        defaults; a mapping or an existing config passes through.
+        """
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, Mapping):
+            unknown = set(value) - {"max_spans", "reservoir_size"}
+            if unknown:
+                raise SimulationError(
+                    f"unknown telemetry config keys: {sorted(unknown)}"
+                )
+            return cls(**value)
+        raise SimulationError(
+            f"SimulationOptions.telemetry must be a bool, a mapping, or a "
+            f"TelemetryConfig, got {type(value).__name__}"
+        )
+
+
+class TelemetryCollector:
+    """Accumulates spans and metrics as the event loop reports them."""
+
+    __slots__ = ("config", "spans", "dropped", "metrics", "_seq",
+                 "_arrivals")
+
+    def __init__(self, config: TelemetryConfig) -> None:
+        self.config = config
+        self.spans: list[Span] = []
+        self.dropped = 0
+        self.metrics = MetricsRegistry(config.reservoir_size)
+        self._seq = 0
+        #: id(channel) -> deque of delivery times of items still queued.
+        self._arrivals: dict[int, deque] = {}
+
+    # -- plumbing ------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _add(self, span: Span) -> None:
+        cap = self.config.max_spans
+        if cap is not None and len(self.spans) >= cap:
+            self.dropped += 1
+            return
+        self.spans.append(span)
+
+    # -- hooks called from the simulator loop --------------------------
+
+    def transfer(self, time: float, ch, item, is_token: bool) -> None:
+        """One item pushed onto ``ch`` (data chunk or control token)."""
+        arrivals = self._arrivals.get(id(ch))
+        if arrivals is None:
+            arrivals = self._arrivals[id(ch)] = deque()
+        arrivals.append(time)
+        nbytes = 0 if is_token else int(item.nbytes)
+        occupancy = len(ch.items)
+        edge = f"{ch.src}.{ch.src_port}->{ch.dst}.{ch.dst_port}"
+        self.metrics.counter("transfers", edge=edge).inc()
+        if is_token:
+            self.metrics.counter("transfer_tokens", edge=edge).inc()
+        else:
+            self.metrics.counter("transfer_bytes", edge=edge).inc(nbytes)
+        self.metrics.gauge("channel_occupancy", edge=edge).set(occupancy)
+        self._add(TransferSpan(
+            seq=self._next_seq(), start_s=time, src=ch.src,
+            src_port=ch.src_port, dst=ch.dst, dst_port=ch.dst_port,
+            bytes=nbytes, token=is_token, occupancy=occupancy,
+        ))
+
+    def _consume_waits(self, time: float, st, firing, firing_seq: int) -> None:
+        """Pop one queued-arrival per consumed port; emit the wait spans."""
+        inputs = st.rk.inputs
+        for port in firing.consume_ports:
+            ch = inputs.get(port)
+            if ch is None:  # pragma: no cover - consume ports are wired
+                continue
+            arrivals = self._arrivals.get(id(ch))
+            arrival = (arrivals.popleft() if arrivals else time)
+            wait = time - arrival
+            self.metrics.histogram(
+                "queue_wait_s", kernel=st.name, port=port
+            ).observe(wait)
+            self._add(WaitSpan(
+                seq=self._next_seq(), consumer_seq=firing_seq,
+                start_s=arrival, duration_s=wait, kernel=st.name,
+                port=port, src=ch.src,
+            ))
+
+    def firing(self, time: float, proc: int, st, firing, result,
+               read_s: float, run_s: float, write_s: float) -> None:
+        """A firing charged to processing element ``proc``."""
+        seq = self._next_seq()
+        duration = read_s + run_s + write_s
+        pe = str(proc)
+        self.metrics.counter("firings", kernel=st.name).inc()
+        self.metrics.histogram(
+            "firing_latency_s", kernel=st.name
+        ).observe(duration)
+        self.metrics.counter("pe_read_s", pe=pe).inc(read_s)
+        self.metrics.counter("pe_run_s", pe=pe).inc(run_s)
+        self.metrics.counter("pe_write_s", pe=pe).inc(write_s)
+        self.metrics.counter("pe_busy_s", pe=pe).inc(duration)
+        self._add(FiringSpan(
+            seq=seq, start_s=time, kernel=st.name, method=result.label,
+            processor=proc, read_s=read_s, run_s=run_s, write_s=write_s,
+            firing_index=st.rk.firings - 1,
+        ))
+        self._consume_waits(time, st, firing, seq)
+
+    def io_firing(self, time: float, st, firing, result) -> None:
+        """A boundary-kernel firing (off-chip, instantaneous)."""
+        seq = self._next_seq()
+        self.metrics.counter("firings", kernel=st.name).inc()
+        self._add(FiringSpan(
+            seq=seq, start_s=time, kernel=st.name, method=result.label,
+            processor=None, read_s=0.0, run_s=0.0, write_s=0.0,
+            firing_index=st.rk.firings - 1,
+        ))
+        self._consume_waits(time, st, firing, seq)
+
+    def stall(self, time: float, kernel: str, proc: int | None) -> None:
+        self.metrics.counter("stalls", kernel=kernel).inc()
+        self._add(StallSpan(
+            seq=self._next_seq(), start_s=time, kernel=kernel,
+            processor=proc,
+        ))
+
+    def fault_retry(self, time: float, proc: int, kernel: str, label: str,
+                    detect_s: float, backoff_s: float) -> None:
+        self.metrics.counter("fault_retries", kernel=kernel).inc()
+        self.metrics.counter("pe_run_s", pe=str(proc)).inc(detect_s)
+        self.metrics.counter("pe_busy_s", pe=str(proc)).inc(detect_s)
+        self._add(FaultSpan(
+            seq=self._next_seq(), start_s=time, action="retry",
+            kernel=kernel, processor=proc, busy_s=detect_s,
+            duration_s=detect_s + backoff_s, detail=label,
+        ))
+
+    def fault_outcome(self, time: float, kernel: str, proc: int | None,
+                      action: str, count: int) -> None:
+        """Terminal outcome of an unrecovered firing: shed or corrupt."""
+        self.metrics.counter(f"fault_{action}", kernel=kernel).inc(count)
+        self._add(FaultSpan(
+            seq=self._next_seq(), start_s=time, action=action,
+            kernel=kernel, processor=proc, detail=f"items={count}",
+        ))
+
+    def pe_death(self, time: float, proc: int) -> None:
+        self.metrics.counter("pe_deaths", pe=str(proc)).inc()
+        self._add(FaultSpan(
+            seq=self._next_seq(), start_s=time, action="pe_death",
+            processor=proc,
+        ))
+
+    def migration(self, time: float, src_proc: int, dst_proc: int,
+                  ready_at: float, kernels: list[str]) -> None:
+        self.metrics.counter("migrations", pe=str(src_proc)).inc()
+        self._add(FaultSpan(
+            seq=self._next_seq(), start_s=time, action="migration",
+            processor=dst_proc, duration_s=ready_at - time,
+            detail=f"PE{src_proc}->PE{dst_proc}: {','.join(kernels)}",
+        ))
+
+    def transfer_dropped(self, time: float, ch) -> None:
+        edge = f"{ch.src}.{ch.src_port}->{ch.dst}.{ch.dst_port}"
+        self.metrics.counter("transfers_dropped", edge=edge).inc()
+        self._add(FaultSpan(
+            seq=self._next_seq(), start_s=time, action="transfer_drop",
+            detail=edge,
+        ))
+
+    def shed_channel(self, time: float, ch, count: int) -> None:
+        """Resynchronization drained ``count`` unmatched items from ``ch``."""
+        arrivals = self._arrivals.get(id(ch))
+        if arrivals:
+            for _ in range(min(count, len(arrivals))):
+                arrivals.popleft()
+        edge = f"{ch.src}.{ch.src_port}->{ch.dst}.{ch.dst_port}"
+        self.metrics.counter("resync_shed", edge=edge).inc(count)
+        self._add(FaultSpan(
+            seq=self._next_seq(), start_s=time, action="resync_shed",
+            kernel=ch.dst, detail=f"{edge}: items={count}",
+        ))
+
+    # -- finalization --------------------------------------------------
+
+    def finalize(self, makespan_s: float) -> "Telemetry":
+        """Derive idle accounting and freeze the collected telemetry."""
+        busy: dict[int, list[tuple[float, float]]] = {}
+        for span in self.spans:
+            if isinstance(span, FiringSpan) and span.processor is not None:
+                if span.duration_s > 0.0:
+                    busy.setdefault(span.processor, []).append(
+                        (span.start_s, span.end_s)
+                    )
+            elif isinstance(span, FaultSpan) and span.busy_s > 0.0 \
+                    and span.processor is not None:
+                busy.setdefault(span.processor, []).append(
+                    (span.start_s, span.start_s + span.busy_s)
+                )
+        eps = _IDLE_EPS * max(1.0, makespan_s)
+        for proc in sorted(busy):
+            intervals = sorted(busy[proc])
+            busy_total = 0.0
+            cursor = 0.0
+            for start, end in intervals:
+                if start - cursor > eps:
+                    self._add(IdleSpan(
+                        seq=self._next_seq(), start_s=cursor,
+                        duration_s=start - cursor, processor=proc,
+                    ))
+                busy_total += end - start
+                if end > cursor:
+                    cursor = end
+            if makespan_s - cursor > eps:
+                self._add(IdleSpan(
+                    seq=self._next_seq(), start_s=cursor,
+                    duration_s=makespan_s - cursor, processor=proc,
+                ))
+            pe = str(proc)
+            self.metrics.gauge("pe_idle_s", pe=pe).set(
+                max(0.0, makespan_s - busy_total)
+            )
+        return Telemetry(
+            config=self.config,
+            spans=self.spans,
+            metrics=self.metrics,
+            makespan_s=makespan_s,
+            dropped_spans=self.dropped,
+        )
+
+
+@dataclass(slots=True)
+class Telemetry:
+    """Everything one simulation observed about itself."""
+
+    config: TelemetryConfig
+    #: All spans, in collector emission (= deterministic event) order.
+    spans: list[Span]
+    metrics: MetricsRegistry
+    makespan_s: float
+    dropped_spans: int = 0
+
+    def spans_of(self, kind: str) -> list[Span]:
+        return [s for s in self.spans if s.kind == kind]
+
+    def firing_spans(self) -> list[FiringSpan]:
+        return [s for s in self.spans if isinstance(s, FiringSpan)]
+
+    def span_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for span in self.spans:
+            counts[span.kind] = counts.get(span.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def busy_by_processor(self) -> dict[int, float]:
+        """Summed busy span time per PE (firings + fault detection).
+
+        By construction this equals the simulator's
+        :class:`~repro.sim.ProcessorStats` busy time — the invariant the
+        test suite pins on every Figure 13 application.
+        """
+        out: dict[int, float] = {}
+        for span in self.spans:
+            if isinstance(span, FiringSpan) and span.processor is not None:
+                out[span.processor] = (
+                    out.get(span.processor, 0.0) + span.duration_s
+                )
+            elif isinstance(span, FaultSpan) and span.busy_s > 0.0 \
+                    and span.processor is not None:
+                out[span.processor] = (
+                    out.get(span.processor, 0.0) + span.busy_s
+                )
+        return out
+
+    def as_dict(self) -> dict:
+        """JSON-safe summary (the ``telemetry`` section of a result)."""
+        return {
+            "makespan_s": self.makespan_s,
+            "spans": self.span_counts(),
+            "dropped_spans": self.dropped_spans,
+            "sha256": spans_digest(self.spans),
+            "metrics": self.metrics.as_dict(),
+        }
+
+    def spans_as_dicts(self) -> list[dict]:
+        return [span_as_dict(s) for s in self.spans]

@@ -1,0 +1,289 @@
+"""Telemetry exporters: Perfetto/Chrome trace JSON, JSONL spans, text.
+
+The Perfetto export follows the Chrome ``trace_event`` JSON-object
+format (the format Perfetto's UI at https://ui.perfetto.dev loads
+directly):
+
+* one thread track per processing element (``pid`` 1, ``tid`` = PE
+  index), complete (``ph: "X"``) slices per firing with nested
+  read/run/write child slices;
+* off-chip boundary firings on a dedicated track;
+* async (``ph: "b"``/``"e"``) slices per consumed item on the channels
+  process (``pid`` 2), spanning delivery -> consumption — the queue-wait
+  picture;
+* counter (``ph: "C"``) tracks for channel occupancy;
+* instant (``ph: "i"``) events for faults and recovery actions.
+
+Timestamps are microseconds, as the format requires.  The exporter is
+deterministic: identical telemetry serializes to identical JSON.
+
+:func:`validate_perfetto` structurally checks a document against the
+subset of the spec the exporter uses — CI runs it on a real trace so the
+artifact uploaded next to ``BENCH_sim.json`` is known-loadable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterator
+
+from .collect import Telemetry
+from .spans import (
+    FaultSpan,
+    FiringSpan,
+    StallSpan,
+    TransferSpan,
+    WaitSpan,
+    span_as_dict,
+)
+
+__all__ = [
+    "to_perfetto",
+    "write_perfetto",
+    "validate_perfetto",
+    "spans_jsonl",
+    "write_spans_jsonl",
+    "timeline",
+]
+
+#: Process ids used in the export.
+_PID_SIM = 1
+_PID_CHANNELS = 2
+
+#: Thread id for the off-chip boundary track (inputs/outputs/constants).
+_TID_IO = 1_000_000
+
+
+def _us(seconds: float) -> float:
+    return seconds * 1e6
+
+
+def to_perfetto(telemetry: Telemetry, *, app: str = "") -> dict:
+    """Render telemetry as a Chrome/Perfetto ``trace_event`` document."""
+    events: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": _PID_SIM,
+         "args": {"name": f"simulation{f' ({app})' if app else ''}"}},
+        {"name": "process_name", "ph": "M", "pid": _PID_CHANNELS,
+         "args": {"name": "channels"}},
+        {"name": "thread_name", "ph": "M", "pid": _PID_SIM, "tid": _TID_IO,
+         "args": {"name": "off-chip I/O"}},
+    ]
+    named_pes: set[int] = set()
+    edge_tids: dict[str, int] = {}
+    async_id = 0
+
+    def edge_tid(edge: str) -> int:
+        tid = edge_tids.get(edge)
+        if tid is None:
+            tid = edge_tids[edge] = len(edge_tids) + 1
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": _PID_CHANNELS,
+                "tid": tid, "args": {"name": edge},
+            })
+        return tid
+
+    for span in telemetry.spans:
+        if isinstance(span, FiringSpan):
+            if span.processor is None:
+                tid = _TID_IO
+            else:
+                tid = span.processor
+                if tid not in named_pes:
+                    named_pes.add(tid)
+                    events.append({
+                        "name": "thread_name", "ph": "M", "pid": _PID_SIM,
+                        "tid": tid, "args": {"name": f"PE{tid}"},
+                    })
+            events.append({
+                "name": f"{span.kernel}.{span.method}", "cat": "firing",
+                "ph": "X", "pid": _PID_SIM, "tid": tid,
+                "ts": _us(span.start_s), "dur": _us(span.duration_s),
+                "args": {"kernel": span.kernel, "method": span.method,
+                         "firing_index": span.firing_index},
+            })
+            for phase, start, dur in span.phases():
+                events.append({
+                    "name": phase, "cat": "phase", "ph": "X",
+                    "pid": _PID_SIM, "tid": tid,
+                    "ts": _us(start), "dur": _us(dur), "args": {},
+                })
+        elif isinstance(span, WaitSpan):
+            edge = f"{span.src}->{span.kernel}.{span.port}"
+            tid = edge_tid(edge)
+            async_id += 1
+            ident = str(async_id)
+            events.append({
+                "name": edge, "cat": "transfer", "ph": "b", "id": ident,
+                "pid": _PID_CHANNELS, "tid": tid, "ts": _us(span.start_s),
+                "args": {"wait_s": span.duration_s},
+            })
+            events.append({
+                "name": edge, "cat": "transfer", "ph": "e", "id": ident,
+                "pid": _PID_CHANNELS, "tid": tid, "ts": _us(span.end_s),
+                "args": {},
+            })
+        elif isinstance(span, TransferSpan):
+            events.append({
+                "name": f"occupancy {span.edge}", "cat": "channel",
+                "ph": "C", "pid": _PID_CHANNELS, "ts": _us(span.start_s),
+                "args": {"items": span.occupancy},
+            })
+        elif isinstance(span, FaultSpan):
+            tid = span.processor if span.processor is not None else _TID_IO
+            events.append({
+                "name": f"fault:{span.action}", "cat": "fault", "ph": "i",
+                "pid": _PID_SIM, "tid": tid, "ts": _us(span.start_s),
+                "s": "t",
+                "args": {"kernel": span.kernel, "detail": span.detail},
+            })
+        elif isinstance(span, StallSpan):
+            tid = span.processor if span.processor is not None else _TID_IO
+            events.append({
+                "name": f"stall:{span.reason}", "cat": "stall", "ph": "i",
+                "pid": _PID_SIM, "tid": tid, "ts": _us(span.start_s),
+                "s": "t", "args": {"kernel": span.kernel},
+            })
+        # IdleSpans are implicit in the timeline (gaps between slices).
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "makespan_s": telemetry.makespan_s,
+            "dropped_spans": telemetry.dropped_spans,
+        },
+    }
+
+
+def write_perfetto(telemetry: Telemetry, path: str, *, app: str = "") -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_perfetto(telemetry, app=app), fh)
+        fh.write("\n")
+
+
+def validate_perfetto(doc: object) -> dict[str, int]:
+    """Structurally validate a ``trace_event`` JSON document.
+
+    Checks the JSON-object envelope and, per event, the fields each
+    phase requires.  Returns phase counts on success; raises
+    ``ValueError`` naming the first offending event otherwise.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError(f"trace document must be a JSON object, "
+                         f"got {type(doc).__name__}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace document needs a 'traceEvents' array")
+    counts: dict[str, int] = {}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            raise ValueError(f"{where} must be an object")
+        ph = ev.get("ph")
+        if ph not in {"X", "B", "E", "b", "e", "n", "i", "I", "C", "M"}:
+            raise ValueError(f"{where} has unknown phase {ph!r}")
+        if "name" not in ev:
+            raise ValueError(f"{where} ({ph}) is missing 'name'")
+        if "pid" not in ev:
+            raise ValueError(f"{where} ({ph}) is missing 'pid'")
+        if ph != "M":
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)):
+                raise ValueError(f"{where} ({ph}) needs a numeric 'ts'")
+        if ph == "X":
+            if not isinstance(ev.get("dur"), (int, float)):
+                raise ValueError(f"{where} (X) needs a numeric 'dur'")
+            if ev["dur"] < 0:
+                raise ValueError(f"{where} (X) has negative 'dur'")
+        if ph in {"b", "e", "n"} and "id" not in ev:
+            raise ValueError(f"{where} ({ph}) needs an 'id'")
+        if ph in {"C", "M"} and not isinstance(ev.get("args"), dict):
+            raise ValueError(f"{where} ({ph}) needs an 'args' object")
+        counts[ph] = counts.get(ph, 0) + 1
+    return counts
+
+
+def spans_jsonl(telemetry: Telemetry) -> Iterator[str]:
+    """The span stream as JSON lines (one canonical dict per span)."""
+    for span in telemetry.spans:
+        yield json.dumps(span_as_dict(span), sort_keys=True)
+
+
+def write_spans_jsonl(telemetry: Telemetry, path_or_file: str | IO[str]) -> int:
+    """Write the JSONL span stream; returns the number of lines."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w", encoding="utf-8") as fh:
+            return write_spans_jsonl(telemetry, fh)
+    count = 0
+    for line in spans_jsonl(telemetry):
+        path_or_file.write(line + "\n")
+        count += 1
+    return count
+
+
+def timeline(telemetry: Telemetry, *, width: int = 80,
+             edges: int = 4) -> str:
+    """Text Gantt of the telemetry: PE rows plus channel-occupancy rows.
+
+    Extends :func:`repro.sim.trace.gantt` — the firing spans render
+    through the same quantized per-PE rows, then the ``edges`` busiest
+    channels (by transferred bytes) get occupancy rows: each column
+    shows the queue depth entering that quantum (``.`` empty, ``1``-``9``
+    items, ``+`` deeper), making the Figure 9 buffering effects and
+    backpressure visible in the same frame as the multiplexing schedule.
+    """
+    from ..sim.trace import TraceEvent, gantt
+
+    firings = [
+        TraceEvent(start_s=s.start_s, processor=s.processor,
+                   kernel=s.kernel, method=s.method, read_s=s.read_s,
+                   run_s=s.run_s, write_s=s.write_s)
+        for s in telemetry.firing_spans() if s.processor is not None
+    ]
+    horizon = telemetry.makespan_s
+    base = gantt(firings, width=width,
+                 until_s=horizon if horizon > 0 else None)
+    if horizon <= 0 or not firings:
+        return base
+
+    # Occupancy trajectory per edge, from the transfer/wait span stream:
+    # +1 at each delivery, -1 at each consumption.
+    deltas: dict[str, list[tuple[float, int]]] = {}
+    traffic: dict[str, float] = {}
+    for span in telemetry.spans:
+        if isinstance(span, TransferSpan):
+            deltas.setdefault(span.edge, []).append((span.start_s, +1))
+            traffic[span.edge] = traffic.get(span.edge, 0.0) + span.bytes
+        elif isinstance(span, WaitSpan):
+            edge_key = None
+            # WaitSpan names (src, dst kernel, port); recover the edge key
+            # by suffix match so both views stay keyed consistently.
+            suffix = f"->{span.kernel}.{span.port}"
+            for key in deltas:
+                if key.endswith(suffix) and key.startswith(f"{span.src}."):
+                    edge_key = key
+                    break
+            if edge_key is not None:
+                deltas[edge_key].append((span.end_s, -1))
+    busiest = sorted(traffic, key=lambda e: (-traffic[e], e))[:edges]
+    if not busiest:
+        return base
+    quantum = horizon / width
+    lines = [base, "channel occupancy (items queued at quantum start):"]
+    for edge in busiest:
+        steps = sorted(deltas[edge])
+        cells = []
+        depth = 0
+        pos = 0
+        for col in range(width):
+            t = col * quantum
+            while pos < len(steps) and steps[pos][0] <= t:
+                depth += steps[pos][1]
+                pos += 1
+            if depth <= 0:
+                cells.append(".")
+            elif depth <= 9:
+                cells.append(str(depth))
+            else:
+                cells.append("+")
+        lines.append(f"  {''.join(cells)}  {edge}")
+    return "\n".join(lines)

@@ -1,0 +1,249 @@
+"""Typed telemetry spans: the full-fidelity record of one simulation.
+
+The flat per-firing :class:`~repro.sim.trace.TraceEvent` answers "who ran
+when"; spans answer *why the schedule looks the way it does*.  Every
+observable of the discrete-event loop gets a typed record:
+
+* :class:`FiringSpan` — one firing on a processing element (or an
+  off-chip boundary kernel), split into read/run/write phases exactly as
+  the machine model charges them;
+* :class:`TransferSpan` — one item pushed onto a channel (data bytes or
+  a control token), with the channel occupancy it caused;
+* :class:`WaitSpan` — the interval one consumed item spent queued in its
+  channel, from delivery to the firing that consumed it;
+* :class:`StallSpan` — a firing attempt blocked by backpressure (bounded
+  channels only);
+* :class:`FaultSpan` — a fault or recovery action: transient retry,
+  processor death, migration, shed/corrupt outcomes, dropped transfers;
+* :class:`IdleSpan` — a gap on a processing element, derived at
+  finalization so per-PE busy + idle always tiles the makespan.
+
+Spans are frozen plain data.  ``seq`` is the collector's global emission
+counter: it orders spans exactly like the simulator's deterministic event
+loop, which is what lets the critical-path pass (:mod:`.critical_path`)
+reconstruct dependencies without re-simulating.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import ClassVar, Sequence
+
+__all__ = [
+    "FiringSpan",
+    "TransferSpan",
+    "WaitSpan",
+    "StallSpan",
+    "FaultSpan",
+    "IdleSpan",
+    "Span",
+    "span_as_dict",
+    "spans_digest",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class FiringSpan:
+    """One firing as charged to the machine model.
+
+    ``processor`` is None for off-chip boundary kernels (application
+    inputs/outputs, constant sources), whose firings execute instantly
+    and never occupy a processing element.
+    """
+
+    kind: ClassVar[str] = "firing"
+
+    seq: int
+    start_s: float
+    kernel: str
+    method: str
+    processor: int | None
+    read_s: float
+    run_s: float
+    write_s: float
+    #: The kernel's executed-firing index at this firing (0-based).
+    firing_index: int = 0
+
+    @property
+    def duration_s(self) -> float:
+        return self.read_s + self.run_s + self.write_s
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def phases(self) -> tuple[tuple[str, float, float], ...]:
+        """(name, start, duration) sub-spans, in machine-model order."""
+        out = []
+        t = self.start_s
+        for name, dur in (("read", self.read_s), ("run", self.run_s),
+                          ("write", self.write_s)):
+            if dur > 0.0:
+                out.append((name, t, dur))
+                t += dur
+        return tuple(out)
+
+
+@dataclass(frozen=True, slots=True)
+class TransferSpan:
+    """One item delivered onto a channel (instantaneous in the model)."""
+
+    kind: ClassVar[str] = "transfer"
+
+    seq: int
+    start_s: float
+    src: str
+    src_port: str
+    dst: str
+    dst_port: str
+    #: Payload size in bytes (0 for control tokens).
+    bytes: int
+    token: bool
+    #: Channel occupancy (items) right after this delivery.
+    occupancy: int
+
+    @property
+    def duration_s(self) -> float:
+        return 0.0
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s
+
+    @property
+    def edge(self) -> str:
+        return f"{self.src}.{self.src_port}->{self.dst}.{self.dst_port}"
+
+
+@dataclass(frozen=True, slots=True)
+class WaitSpan:
+    """Queue residency of one consumed item: delivery -> consumption."""
+
+    kind: ClassVar[str] = "wait"
+
+    seq: int
+    #: ``seq`` of the :class:`FiringSpan` that consumed the item.
+    consumer_seq: int
+    start_s: float
+    duration_s: float
+    kernel: str
+    port: str
+    #: Producing kernel (the channel's source end).
+    src: str
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+@dataclass(frozen=True, slots=True)
+class StallSpan:
+    """A ready firing blocked by backpressure (instantaneous marker)."""
+
+    kind: ClassVar[str] = "stall"
+
+    seq: int
+    start_s: float
+    kernel: str
+    processor: int | None
+    reason: str = "backpressure"
+
+    @property
+    def duration_s(self) -> float:
+        return 0.0
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpan:
+    """A fault or recovery action observed by the injector seam.
+
+    ``action`` is one of ``retry`` (busy_s = fault-detection time,
+    duration_s adds the backoff idle), ``pe_death``, ``migration``
+    (duration_s = state-transfer latency), ``shed``, ``corrupt``,
+    ``resync_shed``, or ``transfer_drop``.
+    """
+
+    kind: ClassVar[str] = "fault"
+
+    seq: int
+    start_s: float
+    action: str
+    kernel: str = ""
+    processor: int | None = None
+    #: Processing-element time the action consumed (counts toward busy).
+    busy_s: float = 0.0
+    duration_s: float = 0.0
+    detail: str = ""
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+@dataclass(frozen=True, slots=True)
+class IdleSpan:
+    """A gap on a processing element (derived at finalization)."""
+
+    kind: ClassVar[str] = "idle"
+
+    seq: int
+    start_s: float
+    duration_s: float
+    processor: int
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+#: Any telemetry span.
+Span = (FiringSpan | TransferSpan | WaitSpan | StallSpan | FaultSpan
+        | IdleSpan)
+
+
+def span_as_dict(span: Span) -> dict:
+    """Canonical JSON-safe form of one span (the JSONL line payload)."""
+    d: dict = {"kind": span.kind, "seq": span.seq, "start_s": span.start_s}
+    if isinstance(span, FiringSpan):
+        d.update(kernel=span.kernel, method=span.method,
+                 processor=span.processor, read_s=span.read_s,
+                 run_s=span.run_s, write_s=span.write_s,
+                 duration_s=span.duration_s,
+                 firing_index=span.firing_index)
+    elif isinstance(span, TransferSpan):
+        d.update(src=span.src, src_port=span.src_port, dst=span.dst,
+                 dst_port=span.dst_port, bytes=span.bytes,
+                 token=span.token, occupancy=span.occupancy)
+    elif isinstance(span, WaitSpan):
+        d.update(consumer_seq=span.consumer_seq, duration_s=span.duration_s,
+                 kernel=span.kernel, port=span.port, src=span.src)
+    elif isinstance(span, StallSpan):
+        d.update(kernel=span.kernel, processor=span.processor,
+                 reason=span.reason)
+    elif isinstance(span, FaultSpan):
+        d.update(action=span.action, kernel=span.kernel,
+                 processor=span.processor, busy_s=span.busy_s,
+                 duration_s=span.duration_s, detail=span.detail)
+    elif isinstance(span, IdleSpan):
+        d.update(duration_s=span.duration_s, processor=span.processor)
+    return d
+
+
+def spans_digest(spans: Sequence[Span]) -> str:
+    """sha256 over the canonical serialization of a span stream.
+
+    Same contract as :func:`repro.sim.trace.trace_digest`: floats via
+    ``repr`` and keys sorted, so two runs share a digest iff every span
+    matches bit for bit.
+    """
+    h = hashlib.sha256()
+    for span in spans:
+        h.update(json.dumps(span_as_dict(span), sort_keys=True).encode())
+        h.update(b"\n")
+    return h.hexdigest()

@@ -57,6 +57,7 @@ import numpy as np
 from ..errors import SimulationError
 from ..faults import FaultInjector, FaultSpec, FaultStats
 from ..graph.app import ApplicationGraph
+from ..obs.collect import Telemetry, TelemetryCollector, TelemetryConfig
 from ..kernels.sources import ApplicationInput, ApplicationOutput, ConstantSource
 from ..machine.processor import ProcessorSpec
 from ..tokens import ControlToken
@@ -109,6 +110,11 @@ class SimulationOptions:
     #: inject anything (`spec.active()` false) leaves the simulator on its
     #: zero-fault path, observably identical to passing None.
     faults: FaultSpec | None = None
+    #: Telemetry collection (see :mod:`repro.obs`): None/False for off
+    #: (the default — the hot path carries a single precomputed None
+    #: local, observably identical to the seed), True for defaults, or a
+    #: :class:`~repro.obs.TelemetryConfig` / mapping for tuned limits.
+    telemetry: TelemetryConfig | None = None
 
     def __post_init__(self) -> None:
         # Validate up front: a bad knob should name itself here, not
@@ -155,6 +161,12 @@ class SimulationOptions:
                     f"SimulationOptions.faults must be a FaultSpec, a "
                     f"mapping, or None, got {type(self.faults).__name__}"
                 )
+        if self.telemetry is not None and not isinstance(
+            self.telemetry, TelemetryConfig
+        ):
+            object.__setattr__(
+                self, "telemetry", TelemetryConfig.coerce(self.telemetry)
+            )
 
 
 @dataclass(slots=True)
@@ -226,6 +238,8 @@ class SimulationResult:
     peak_heap: int = 0
     #: Degradation accounting (all zeros unless a fault spec was active).
     fault_stats: FaultStats = field(default_factory=FaultStats)
+    #: Full-fidelity telemetry (None unless options.telemetry enabled).
+    telemetry: Telemetry | None = None
 
     def frame_completions(self, output: str, chunks_per_frame: int) -> list[float]:
         """Completion time of each full frame at ``output``."""
@@ -290,6 +304,10 @@ class SimulationResult:
         spec = self.options.faults
         if spec is not None and spec.active():
             d["faults"] = self.fault_stats.as_dict()
+        # Like faults: the key exists only when the feature was on, so
+        # telemetry-off runs keep the recorded fixtures' exact key set.
+        if self.telemetry is not None:
+            d["telemetry"] = self.telemetry.as_dict()
         return d
 
     def verdict(
@@ -448,7 +466,12 @@ class _KernelState:
         self.output_times: list[float] = []
 
 
-def _resync_shed(st: _KernelState, fstats: FaultStats) -> bool:
+def _resync_shed(
+    st: _KernelState,
+    fstats: FaultStats,
+    tele: TelemetryCollector | None = None,
+    time: float = 0.0,
+) -> bool:
     """Frame-level resynchronization at a multi-input join (shed mode).
 
     After data has been lost (a shed firing upstream, a dropped
@@ -485,11 +508,16 @@ def _resync_shed(st: _KernelState, fstats: FaultStats) -> bool:
             continue
         for ch in chans:
             items = ch.items
+            shed = 0
             while items and not isinstance(items[0], ControlToken):
                 ch.seqs.popleft()
                 items.popleft()
-                fstats.data_shed += 1
+                shed += 1
+            if shed:
+                fstats.data_shed += shed
                 dropped = True
+                if tele is not None:
+                    tele.shed_channel(time, ch, shed)
     return dropped
 
 
@@ -617,6 +645,14 @@ class Simulator:
         trace_on = opts.trace
         budget_overruns: list[BudgetOverrun] = []
 
+        # Telemetry rides the same seam as the fault injector: one
+        # precomputed local, `is not None` checks only — off means the
+        # hot path is byte-for-byte the seed-conformant loop.
+        tele: TelemetryCollector | None = (
+            TelemetryCollector(opts.telemetry)
+            if opts.telemetry is not None else None
+        )
+
         events: list = []
         seq = itertools.count()
         next_seq = seq.__next__
@@ -689,6 +725,70 @@ class Simulator:
                     if len(events) > peak_heap:
                         peak_heap = len(events)
 
+        if tele is not None:
+            # Telemetry-on variant: identical observable behavior plus a
+            # span hook after every push.  A separate closure (rather
+            # than per-push `tele is not None` branches) keeps the
+            # telemetry-off deliver — the hottest code in the loop —
+            # byte-for-byte the seed-conformant version above; any edit
+            # there must be mirrored here.
+            def deliver(time: float, st_src: _KernelState, port: str,
+                        item) -> None:
+                nonlocal peak_heap
+                is_token = isinstance(item, ControlToken)
+                dup = False
+                for ch, dst, checked in st_src.out.get(port, ()):
+                    if (ch_faulted is not None and not is_token
+                            and id(ch) in ch_faulted):
+                        if injector.transfer_dropped():
+                            tele.transfer_dropped(time, ch)
+                            continue
+                        dup = injector.transfer_duplicated()
+                    items = ch.items
+                    items.append(item)
+                    counter = ch.seq
+                    counter.value = stamp = counter.value + 1
+                    ch.seqs.append(stamp)
+                    if is_token:
+                        ch.total_tokens += 1
+                    else:
+                        ch.total_data += 1
+                    occupancy = len(items)
+                    if occupancy > ch.max_occupancy:
+                        ch.max_occupancy = occupancy
+                    if checked and occupancy > input_cap:
+                        violations.append(
+                            _Violation(
+                                time=time,
+                                where=f"{ch.src}->{ch.dst}.{ch.dst_port}",
+                                detail="input overran its consumer",
+                            )
+                        )
+                    tele.transfer(time, ch, item, is_token)
+                    if dup:
+                        dup = False
+                        items.append(item)
+                        counter.value = stamp = counter.value + 1
+                        ch.seqs.append(stamp)
+                        ch.total_data += 1
+                        occupancy = len(items)
+                        if occupancy > ch.max_occupancy:
+                            ch.max_occupancy = occupancy
+                        if checked and occupancy > input_cap:
+                            violations.append(
+                                _Violation(
+                                    time=time,
+                                    where=f"{ch.src}->{ch.dst}.{ch.dst_port}",
+                                    detail="input overran its consumer",
+                                )
+                            )
+                        tele.transfer(time, ch, item, is_token)
+                    if queued_polls.get(dst) != time:
+                        queued_polls[dst] = time
+                        heappush(events, (time, _POLL, next_seq(), dst))
+                        if len(events) > peak_heap:
+                            peak_heap = len(events)
+
         # --- startup: init methods, then lazy source cursors -------------
         for name, rk in runtimes.items():
             for result in rk.run_init():
@@ -753,6 +853,8 @@ class Simulator:
                 return
             ps.dead = True
             fstats.pe_deaths += 1
+            if tele is not None:
+                tele.pe_death(time, ps.index)
             if recovery.migrate and spare_pool:
                 new_idx = spare_pool.pop(0)
                 new = proc_states.get(new_idx)
@@ -765,6 +867,9 @@ class Simulator:
                     new.free_at = ready_at
                 fstats.migrations += 1
                 fstats.recovery_latency_s += ready_at - ps.dead_at
+                if tele is not None:
+                    tele.migration(time, ps.index, new.index, ready_at,
+                                   sorted(ps.kernels))
                 new.kernels |= ps.kernels
                 for kst in ps.pending:
                     if kst not in new.pending:
@@ -815,6 +920,8 @@ class Simulator:
                         if firing is None:
                             break
                         result = st_execute(firing)
+                        if tele is not None:
+                            tele.io_firing(time, st, firing, result)
                         if bounded:
                             for port in firing.consume_ports:
                                 src = st.wake.get(port)
@@ -846,7 +953,7 @@ class Simulator:
                         if (injector is not None and recovery.shed
                                 and (fstats.data_shed
                                      or fstats.transfers_dropped)
-                                and _resync_shed(st, fstats)):
+                                and _resync_shed(st, fstats, tele, time)):
                             firing = st.ready()
                         if firing is None:
                             continue
@@ -861,6 +968,8 @@ class Simulator:
                         if blocked:
                             # Backpressure stall: re-polled when a
                             # consumer frees space.
+                            if tele is not None:
+                                tele.stall(time, st.name, ps.index)
                             continue
                     if injector is not None:
                         # The firing index counts *executed* firings, so a
@@ -884,17 +993,23 @@ class Simulator:
                                 ps.run_s += detect_s
                                 ps.free_at = time + detect_s + backoff_s
                                 st.running = True
-                                if trace_on:
+                                if trace_on or tele is not None:
                                     label = (method.name
                                              if method is not None
                                              else "<forward>")
-                                    trace.append(TraceEvent(
-                                        start_s=time, processor=ps.index,
-                                        kernel=st.name,
-                                        method=f"fault:{label}",
-                                        read_s=0.0, run_s=detect_s,
-                                        write_s=0.0,
-                                    ))
+                                    if trace_on:
+                                        trace.append(TraceEvent(
+                                            start_s=time, processor=ps.index,
+                                            kernel=st.name,
+                                            method=f"fault:{label}",
+                                            read_s=0.0, run_s=detect_s,
+                                            write_s=0.0,
+                                        ))
+                                    if tele is not None:
+                                        tele.fault_retry(
+                                            time, ps.index, st.name, label,
+                                            detect_s, backoff_s,
+                                        )
                                 heappush(events,
                                          (ps.free_at, _FINISH, next_seq(),
                                           (st, None)))
@@ -923,9 +1038,13 @@ class Simulator:
                                 (p, it) for p, it in result.emissions
                                 if isinstance(it, ControlToken)
                             ]
-                            fstats.data_shed += \
-                                len(result.emissions) - len(kept)
+                            shed = len(result.emissions) - len(kept)
+                            fstats.data_shed += shed
                             result.emissions = kept
+                            if tele is not None:
+                                tele.fault_outcome(
+                                    time, st.name, ps.index, "shed", shed
+                                )
                         else:
                             # No shedding: corrupted (zeroed) data flows
                             # on — the silent-divergence baseline.
@@ -935,6 +1054,10 @@ class Simulator:
                                  if isinstance(it, np.ndarray) else it)
                                 for p, it in result.emissions
                             ]
+                            if tele is not None:
+                                tele.fault_outcome(
+                                    time, st.name, ps.index, "corrupt", 1
+                                )
                     if bounded:
                         for port in firing.consume_ports:
                             src = st.wake.get(port)
@@ -970,6 +1093,9 @@ class Simulator:
                             method=result.label, read_s=read_s, run_s=run_s,
                             write_s=write_s,
                         ))
+                    if tele is not None:
+                        tele.firing(time, ps.index, st, firing, result,
+                                    read_s, run_s, write_s)
                     heappush(events,
                              (time + duration, _FINISH, next_seq(),
                               (st, result)))
@@ -1057,6 +1183,7 @@ class Simulator:
             events_processed=processed,
             peak_heap=peak_heap,
             fault_stats=fstats,
+            telemetry=tele.finalize(makespan) if tele is not None else None,
         )
 
 

@@ -23,7 +23,10 @@ class ProcessorStats:
     run_s: float = 0.0
     write_s: float = 0.0
     firings: int = 0
-    kernels: set = field(default_factory=set)
+    #: Kernels serviced by this element.  A set at runtime (membership
+    #: adds during the loop); serialized sorted so the JSON form is
+    #: deterministic regardless of hash seeding.
+    kernels: set[str] = field(default_factory=set)
 
     @property
     def busy_s(self) -> float:

@@ -122,3 +122,70 @@ class TestMappedDot:
         assert main(["trace", "2", "--width", "40"]) == 0
         out = capsys.readouterr().out
         assert "gantt over" in out
+
+
+class TestTelemetryCli:
+    """The observability surface: simulate flags, profile, trace errors."""
+
+    def test_trace_empty_fails_loudly(self, capsys):
+        """Zero frames means zero firings: diagnose, don't print a
+        blank chart and exit 0."""
+        assert main(["trace", "1", "--frames", "0"]) == 1
+        captured = capsys.readouterr()
+        assert "no firings" in captured.err
+        assert "gantt" not in captured.out
+
+    def test_simulate_telemetry_artifacts(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_perfetto
+
+        perfetto = tmp_path / "trace.json"
+        spans = tmp_path / "spans.jsonl"
+        assert main([
+            "simulate", "2", "--frames", "2",
+            "--perfetto", str(perfetto), "--spans", str(spans),
+            "--critical-path",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        counts = validate_perfetto(json.loads(perfetto.read_text()))
+        assert counts["X"] > 0
+        for line in spans.read_text().splitlines():
+            json.loads(line)
+
+    def test_simulate_json_sections(self, capsys):
+        import json
+
+        assert main(["simulate", "2", "--frames", "2", "--critical-path",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["telemetry"]["spans"]["firing"] > 0
+        cp = payload["critical_path"]
+        assert cp["path_s"] == pytest.approx(cp["makespan_s"], rel=1e-9)
+
+    def test_simulate_without_flags_has_no_telemetry(self, capsys):
+        import json
+
+        assert main(["simulate", "2", "--frames", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "telemetry" not in payload and "critical_path" not in payload
+
+    def test_profile_text(self, capsys):
+        assert main(["profile", "2", "--frames", "2", "--timeline",
+                     "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "firing latency" in out
+        assert "critical path" in out
+        assert "channel occupancy" in out
+
+    def test_profile_json(self, capsys):
+        import json
+
+        assert main(["profile", "2", "--frames", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["telemetry"]["spans"]["firing"] > 0
+        assert payload["critical_path"]["path_s"] == pytest.approx(
+            payload["makespan_s"], rel=1e-9
+        )

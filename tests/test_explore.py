@@ -401,3 +401,36 @@ class TestCliJson:
         assert row["gain"] == pytest.approx(
             row["utilization_greedy"] / row["utilization_1to1"])
         assert data["geometric_mean_gain"] == pytest.approx(row["gain"])
+
+
+class TestTelemetryAxis:
+    def test_job_routing_and_fingerprint(self):
+        spec = SweepSpec.from_dict({
+            "app": "image_pipeline",
+            "axes": {"telemetry": [False, True]},
+            "fixed": {"width": 16, "height": 12, "rate_hz": 50.0},
+            "frames": 1,
+        })
+        plain, instrumented = spec.jobs()
+        assert not plain.telemetry and instrumented.telemetry
+        # Distinct design points, and the off-job fingerprints exactly
+        # like a pre-telemetry job (old cache entries stay valid).
+        assert plain.fingerprint != instrumented.fingerprint
+        assert "telemetry" in instrumented.label
+        round_tripped = Job.from_dict(instrumented.to_dict())
+        assert round_tripped.fingerprint == instrumented.fingerprint
+
+    def test_executed_job_carries_telemetry_stats(self):
+        from repro.explore.executor import execute_job
+
+        spec = SweepSpec.from_dict({
+            "app": "image_pipeline",
+            "axes": {"telemetry": [True]},
+            "fixed": {"width": 16, "height": 12, "rate_hz": 50.0},
+            "frames": 1,
+        })
+        stats = execute_job(spec.jobs()[0])
+        tele = stats["telemetry"]
+        assert tele["spans"]["firing"] > 0
+        cp = tele["critical_path"]
+        assert cp["path_s"] == pytest.approx(cp["makespan_s"], rel=1e-9)

@@ -81,3 +81,28 @@ class TestTrace:
             pytest.skip("mapping produced no multiplexed processors")
         text = gantt(res.trace, width=30)
         assert any(c.isupper() for c in text)
+
+
+class TestTraceDigest:
+    def test_event_as_dict_round_trip(self):
+        import json
+
+        from repro.sim import event_as_dict
+
+        res = traced_result()
+        for e in res.trace[:50]:
+            d = json.loads(json.dumps(event_as_dict(e)))
+            rebuilt = TraceEvent(**d)
+            assert rebuilt == e
+
+    def test_digest_deterministic_and_sensitive(self):
+        from dataclasses import replace
+
+        from repro.sim import trace_digest
+
+        res = traced_result()
+        again = traced_result()
+        assert trace_digest(res.trace) == trace_digest(again.trace)
+        perturbed = list(res.trace)
+        perturbed[0] = replace(perturbed[0], run_s=perturbed[0].run_s + 1e-9)
+        assert trace_digest(perturbed) != trace_digest(res.trace)
