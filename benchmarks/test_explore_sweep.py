@@ -45,12 +45,12 @@ def test_explore_sweep_engine(benchmark, tmp_path):
         if "mapping=greedy" in label:
             assert stats["meets"], label
     for width in (24, 48):
-        slow = by_label[f"image_pipeline(height=16, rate_hz=100.0, "
+        slow = by_label["image_pipeline(height=16, rate_hz=100.0, "
                         f"width={width}, clock_mhz=20, memory_words=512, "
-                        f"mapping=greedy)"]
-        fast = by_label[f"image_pipeline(height=16, rate_hz=400.0, "
+                        "mapping=greedy)"]
+        fast = by_label["image_pipeline(height=16, rate_hz=400.0, "
                         f"width={width}, clock_mhz=20, memory_words=512, "
-                        f"mapping=greedy)"]
+                        "mapping=greedy)"]
         assert fast["processor_count"] >= slow["processor_count"]
 
     second = run_sweep(jobs, cache=cache, options=options)

@@ -73,5 +73,5 @@ def test_ext_energy(benchmark):
               f"{e.total_j * 1e6:8.2f} uJ (compute {e.compute_j * 1e6:.2f}, "
               f"access {e.access_j * 1e6:.2f}, network {e.network_j * 1e6:.2f}, "
               f"leakage {e.leakage_j * 1e6:.2f})")
-    print(f"  greedy/1:1 total energy: "
+    print("  greedy/1:1 total energy: "
           f"{gm['placed'].total_j / one['placed'].total_j:.2f}x")

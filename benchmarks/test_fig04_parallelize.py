@@ -7,7 +7,7 @@ column-split buffers re-interleaved by a counted join, and a single serial
 merge fed once per frame.
 """
 
-from conftest import BENCH_PROC, compile_and_simulate
+from conftest import compile_and_simulate
 
 from repro.apps import build_image_pipeline
 from repro.kernels import (

@@ -10,7 +10,6 @@ from fractions import Fraction
 
 import numpy as np
 
-from repro.apps import build_image_pipeline
 from repro.geometry import Size2D, Step2D, steady_state_reuse
 from repro.kernels import BufferKernel
 from repro.sim.runtime import Channel, RuntimeKernel, SeqCounter
@@ -60,7 +59,7 @@ def test_fig05_steady_state_reuse(benchmark):
     assert halo == (4, 4)  # Section III-A's "4x4 halo"
 
     print()
-    print(f"FIG5: steady-state reuse 24/25 = "
+    print("FIG5: steady-state reuse 24/25 = "
           f"{float(steady_state_reuse(Size2D(5, 5), Step2D(1, 1))):.2%}; "
           f"{len(within_row)}/{len(shared)} consecutive windows share 20 "
-          f"elements (4 of 5 columns) in-row")
+          "elements (4 of 5 columns) in-row")

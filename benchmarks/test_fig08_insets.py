@@ -46,6 +46,6 @@ def test_fig08_alignment(benchmark):
 
     print()
     print("FIG8 reproduced:")
-    print(f"  median out 98x98@(1,1) vs conv out 96x96@(2,2)")
-    print(f"  trim policy -> aligned 96x96@(2,2), median trimmed (1,1,1,1)")
-    print(f"  pad policy  -> aligned 98x98@(1,1), conv input padded 1/side")
+    print("  median out 98x98@(1,1) vs conv out 96x96@(2,2)")
+    print("  trim policy -> aligned 96x96@(2,2), median trimmed (1,1,1,1)")
+    print("  pad policy  -> aligned 98x98@(1,1), conv input padded 1/side")

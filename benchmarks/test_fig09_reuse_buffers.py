@@ -95,7 +95,7 @@ def test_fig09_reuse_optimized_buffers(benchmark):
           f"reuse-optimized {opt_read * 1e3:.3f} ms "
           f"({base_read / opt_read:.1f}x less)")
     print(f"  branch bands: {[r for r, _ in plan.parts]}")
-    print(f"  Figure 9(b) -> 9(c): per-branch output buffer words needed "
+    print("  Figure 9(b) -> 9(c): per-branch output buffer words needed "
           f"for continuous operation: {need}")
 
 

@@ -10,7 +10,6 @@ the re-interleaved stream is bit-identical to the unsplit pipeline.
 
 import numpy as np
 
-from conftest import compile_and_simulate
 
 from repro.apps import build_buffer_test_app
 from repro.kernels import BufferKernel, ColumnSplit, CountedJoin

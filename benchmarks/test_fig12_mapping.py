@@ -60,6 +60,6 @@ def test_fig12_greedy_vs_one_to_one(benchmark):
     print(f"  greedy mapping: {gm_c.processor_count:2d} PEs, "
           f"avg utilization {gm_u:.1%}")
     print(f"  improvement {improvement:.2f}x "
-          f"(paper: 20% -> 37% = 1.85x on its example)")
+          "(paper: 20% -> 37% = 1.85x on its example)")
     print()
     print(gm_c.mapping.describe())

@@ -89,4 +89,4 @@ def test_fig13_utilization(benchmark):
         print(f"  {row['key']:>6} | {cells[0]:>22} | {cells[1]:>22} | "
               f"{gain:.2f}x")
     print(f"  geometric-mean improvement: {mean_improvement:.2f}x "
-          f"(paper: ~1.5x)")
+          "(paper: ~1.5x)")

@@ -65,7 +65,9 @@ def main() -> None:
         # Probe decisions land in the same content-addressed cache, so a
         # repeated search recompiles only the winning rate.
         proc = ProcessorSpec(clock_hz=20e6, memory_words=512)
-        build = lambda rate: build_image_pipeline(24, 16, rate)
+        def build(rate):
+            return build_image_pipeline(24, 16, rate)
+
         print()
         print("budget | max rate | PEs | probes")
         print("-" * 38)

@@ -41,7 +41,6 @@ def main() -> None:
     # The analysis knows the rate drop: the smoother iterates 30x22 times
     # per frame, the downsampler 15x11, the opening stages fewer still.
     df = compiled.dataflow
-    smooth_rate = None
     for name, flow in df.flows.items():
         if name.startswith("Smooth") or name.startswith("Down2"):
             print(f"  {name}: {flow.total_firings_per_second:,.0f} firings/s")

@@ -21,7 +21,7 @@ from ..errors import AlignmentError
 from ..geometry import Inset, Region
 from ..graph.app import ApplicationGraph
 from ..streams import StreamInfo
-from .dataflow import DataflowResult, analyze_dataflow
+from .dataflow import DataflowResult
 
 __all__ = ["Misalignment", "find_misalignments", "check_alignment"]
 
@@ -142,7 +142,6 @@ def _partial_dataflow(app: ApplicationGraph) -> DataflowResult:
     unresolved; the caller only queries streams flowing *into* the kernels
     it inspects.
     """
-    from ..graph.kernel import TransferResult
     from .dataflow import KernelFlow
 
     order = app.topological_order()

@@ -22,7 +22,7 @@ deliberately overloaded mappings.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping
 
 from ..errors import AnalysisError
 from ..kernels.sources import ApplicationInput

@@ -55,6 +55,65 @@ def _compile(key: str, args: argparse.Namespace):
     )
 
 
+def _noc_model(args: argparse.Namespace, compiled):
+    """Build the NoC timing model requested by --noc, or None."""
+    if not getattr(args, "noc", False):
+        for flag, name in ((getattr(args, "placement", None), "--placement"),
+                           (getattr(args, "noc_mesh", None), "--mesh")):
+            if flag:
+                raise SimulationError(
+                    f"{name} only affects timing through the NoC model; "
+                    "add --noc"
+                )
+        return None
+    from .machine import (
+        NocModel,
+        anneal_placement,
+        fit_chip,
+        row_major_placement,
+    )
+
+    chip = fit_chip(
+        compiled.mapping.processor_count
+        + len(getattr(compiled.mapping, "spares", ())),
+        compiled.processor,
+        mesh=getattr(args, "noc_mesh", None),
+    )
+    strategy = getattr(args, "placement", None) or "row-major"
+    if strategy == "row-major":
+        placement = row_major_placement(compiled.mapping, chip)
+    else:
+        placement = anneal_placement(
+            compiled.mapping, compiled.dataflow, chip,
+            seed=0, objective=strategy,
+        )
+    return NocModel(
+        placement=placement,
+        per_hop_cycles=args.hop_cycles,
+        serialization_cycles_per_element=args.ser_cycles,
+    )
+
+
+def _add_noc_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--noc", action="store_true",
+                   help="route inter-element transfers over the 2-D mesh "
+                        "NoC with per-link contention (see docs/noc.md)")
+    p.add_argument("--placement",
+                   choices=("row-major", "energy", "makespan"),
+                   default=None,
+                   help="NoC placement strategy: naive row-major fill or "
+                        "an annealed objective (requires --noc)")
+    p.add_argument("--mesh", type=int, default=None, dest="noc_mesh",
+                   help="force the NoC mesh side length (requires --noc; "
+                        "default: smallest square that fits)")
+    p.add_argument("--hop-cycles", type=float, default=4.0,
+                   dest="hop_cycles",
+                   help="router/link traversal cycles per hop")
+    p.add_argument("--ser-cycles", type=float, default=1.0,
+                   dest="ser_cycles",
+                   help="link serialization cycles per payload element")
+
+
 def _fault_spec(args: argparse.Namespace):
     from .faults import load_fault_spec
 
@@ -97,11 +156,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         getattr(args, "perfetto", None) or getattr(args, "spans", None)
         or getattr(args, "critical_path", False)
     )
+    noc = _noc_model(args, compiled)
     sim_started = time.perf_counter()
     result = simulate(
         compiled,
         SimulationOptions(frames=args.frames, faults=fault_spec,
-                          telemetry=telemetry_on),
+                          telemetry=telemetry_on, noc=noc),
     )
     sim_elapsed = time.perf_counter() - sim_started
     path_report = None
@@ -146,6 +206,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         }
         if faults_active:
             payload["faults"] = result.fault_stats.as_dict()
+        if result.noc_stats is not None:
+            payload["noc"] = result.noc_stats.as_dict(result.makespan_s)
+            payload["makespan_s"] = result.makespan_s
         if telemetry_on:
             payload["telemetry"] = {
                 "spans": result.telemetry.span_counts(),
@@ -160,6 +223,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print(verdict.describe())
         if faults_active:
             print(result.fault_stats.describe())
+        if result.noc_stats is not None:
+            print(result.noc_stats.describe())
         print()
         print(result.utilization.describe())
         if args.perfetto:
@@ -265,10 +330,11 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
     bench, compiled = _compile(args.key, args)
     fault_spec = _fault_spec(args)
+    noc = _noc_model(args, compiled)
     result = simulate(
         compiled,
         SimulationOptions(frames=args.frames, faults=fault_spec,
-                          telemetry=True),
+                          telemetry=True, noc=noc),
     )
     tele = result.telemetry
     report = analyze_critical_path(tele)
@@ -277,13 +343,16 @@ def cmd_profile(args: argparse.Namespace) -> int:
     if args.spans:
         write_spans_jsonl(tele, args.spans)
     if args.json:
-        print(json.dumps({
+        payload = {
             "benchmark": bench.key,
             "frames": args.frames,
             "makespan_s": result.makespan_s,
             "telemetry": tele.as_dict(),
             "critical_path": report.as_dict(),
-        }, indent=2))
+        }
+        if result.noc_stats is not None:
+            payload["noc"] = result.noc_stats.as_dict(result.makespan_s)
+        print(json.dumps(payload, indent=2))
         return 0
     counts = tele.span_counts()
     print(
@@ -291,6 +360,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
         f"{result.makespan_s * 1e3:.3f} ms makespan, "
         + ", ".join(f"{v} {k}" for k, v in counts.items())
     )
+    if result.noc_stats is not None:
+        print(result.noc_stats.describe())
     rows = [
         (labels.get("kernel", ""), h)
         for name, labels, h in tele.metrics.histograms()
@@ -449,6 +520,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--critical-path", action="store_true",
                    dest="critical_path",
                    help="record telemetry and report the critical path")
+    _add_noc_args(p)
 
     p = sub.add_parser("dot", help="export a benchmark graph as Graphviz dot")
     p.add_argument("key")
@@ -497,6 +569,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override the fault spec's seed")
     p.add_argument("--spares", type=int, default=0,
                    help="spare processing elements reserved for migration")
+    _add_noc_args(p)
 
     p = sub.add_parser("suite", help="run the Figure 13 table")
     p.add_argument("--json", action="store_true",

@@ -44,7 +44,7 @@ from concurrent.futures import (
     wait,
 )
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
 from ..errors import BlockParallelError
@@ -156,6 +156,41 @@ def _apply_injection(job: Job) -> None:
         raise RuntimeError(f"unknown injection mode {mode!r}")
 
 
+def _noc_model(job: Job, compiled) -> Any:
+    """Build the job's :class:`~repro.machine.noc.NocModel`, or None."""
+    if not job.noc:
+        return None
+    from ..machine import (
+        NocModel,
+        anneal_placement,
+        fit_chip,
+        row_major_placement,
+    )
+
+    knobs = dict(job.noc)
+    chip = fit_chip(
+        compiled.mapping.processor_count
+        + len(getattr(compiled.mapping, "spares", ())),
+        compiled.processor,
+        mesh=knobs.get("mesh"),
+    )
+    strategy = job.placement or "row-major"
+    if strategy == "row-major":
+        placement = row_major_placement(compiled.mapping, chip)
+    else:
+        placement = anneal_placement(
+            compiled.mapping, compiled.dataflow, chip,
+            seed=0, objective=strategy,
+        )
+    return NocModel(
+        placement=placement,
+        per_hop_cycles=knobs["per_hop_cycles"],
+        serialization_cycles_per_element=(
+            knobs["serialization_cycles_per_element"]
+        ),
+    )
+
+
 def execute_job(job: Job) -> dict[str, Any]:
     """Compile, simulate, and measure one design point.
 
@@ -169,11 +204,12 @@ def execute_job(job: Job) -> dict[str, Any]:
         app, job.build_processor(), job.build_options()
     )
     fault_spec = job.fault_spec()
+    noc = _noc_model(job, compiled)
     sim_started = time.perf_counter()
     result = simulate(
         compiled,
         SimulationOptions(frames=job.frames, faults=fault_spec,
-                          telemetry=job.telemetry),
+                          telemetry=job.telemetry, noc=noc),
     )
     sim_elapsed = time.perf_counter() - sim_started
     output, chunks_per_frame, rate_hz = job.measurement()
@@ -211,6 +247,13 @@ def execute_job(job: Job) -> dict[str, Any]:
         stats["faults"] = result.fault_stats.as_dict()
         stats["frames_shed"] = verdict.frames_shed
         stats["unrecovered_faults"] = result.fault_stats.unrecovered
+    if result.noc_stats is not None:
+        # Link-level congestion rides along like fault stats do, so the
+        # placement/NoC axes report their effect next to the makespan.
+        stats["noc"] = {
+            "placement": job.placement or "row-major",
+            **result.noc_stats.as_dict(result.makespan_s),
+        }
     if result.telemetry is not None:
         from ..obs import analyze_critical_path
 

@@ -20,7 +20,6 @@ from typing import Callable
 
 from ..graph.app import ApplicationGraph
 from ..machine.processor import ProcessorSpec
-from ..transform.compile import CompileOptions
 from ..transform.rate_search import RateSearchResult, find_max_rate
 from .cache import ResultCache
 

@@ -16,6 +16,10 @@ Axis keys route automatically by name:
 * ``frames`` configures the simulation; ``telemetry`` (bool) additionally
   collects :mod:`repro.obs` telemetry and carries a critical-path summary
   in the result record;
+* ``noc`` (bool or ``{"per_hop_cycles", "serialization_cycles_per_element",
+  "mesh"}``) attaches the :mod:`repro.machine.noc` timing model;
+  ``placement`` (``"row-major"``/``"energy"``/``"makespan"``) selects how
+  the NoC placement is produced and requires ``noc``;
 * everything else is passed to the application builder (validated against
   its signature at expansion time, so typos fail before any job runs).
 
@@ -35,7 +39,7 @@ import inspect
 import itertools
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Mapping
+from typing import Any, Callable, Mapping
 
 from ..apps import (
     build_bayer_app,
@@ -80,6 +84,14 @@ OPTION_KEYS = frozenset({
     "utilization_target", "alignment_policy", "spare_processors",
 })
 SIM_KEYS = frozenset({"frames"})
+#: NoC knobs accepted by a ``noc`` axis mapping; ``mesh`` forces the
+#: mesh side length (default: smallest square fitting the processors).
+NOC_KEYS = frozenset({
+    "per_hop_cycles", "serialization_cycles_per_element", "mesh",
+})
+#: Placement strategies for the ``placement`` axis.  ``row-major`` is the
+#: naive fill; the other two run ``anneal_placement`` with that objective.
+PLACEMENTS = ("row-major", "energy", "makespan")
 #: ``faults`` takes a fault-spec dict (see :mod:`repro.faults`);
 #: ``fault_seed`` overrides/sets its seed, letting a sweep hold one
 #: scenario fixed while varying only the seed axis.
@@ -155,6 +167,11 @@ class Job:
     #: Collect simulation telemetry (see :mod:`repro.obs`) and carry a
     #: critical-path summary in the result record.
     telemetry: bool = False
+    #: Normalized NoC knobs (defaults filled), or () for the paper's
+    #: free-communication substrate.  Non-empty iff the model is on.
+    noc: tuple[tuple[str, Any], ...] = ()
+    #: Placement strategy when ``noc`` is on ("" means row-major).
+    placement: str = ""
     _fingerprint: str = field(default="", compare=False, repr=False)
 
     # -- construction helpers ------------------------------------------
@@ -177,6 +194,15 @@ class Job:
             bits.append(f"faults[seed={spec.seed}]")
         if self.telemetry:
             bits.append("telemetry")
+        if self.noc:
+            knobs = dict(self.noc)
+            noc_bits = [f"hop={knobs['per_hop_cycles']:g}",
+                        f"ser={knobs['serialization_cycles_per_element']:g}"]
+            if knobs.get("mesh") is not None:
+                noc_bits.append(f"mesh={knobs['mesh']}")
+            bits.append(f"noc[{', '.join(noc_bits)}]")
+            if self.placement:
+                bits.append(f"placement={self.placement}")
         return f"{self.app}({', '.join(bits)})" if bits else self.app
 
     def fault_spec(self) -> "FaultSpec | None":
@@ -247,6 +273,8 @@ class Job:
             "inject": self.inject_dict,
             "faults": json.loads(self.faults) if self.faults else None,
             "telemetry": self.telemetry,
+            "noc": dict(self.noc) if self.noc else None,
+            "placement": self.placement,
             "fingerprint": self.fingerprint,
         }
 
@@ -263,6 +291,10 @@ class Job:
             inject=_freeze(data.get("inject", {})),
             faults=_canonical_faults(data.get("faults")),
             telemetry=bool(data.get("telemetry", False)),
+            noc=_canonical_noc(data.get("noc")),
+            placement=_canonical_placement(
+                data.get("placement", ""), bool(data.get("noc"))
+            ),
             _fingerprint=data.get("fingerprint", ""),
         )
 
@@ -287,6 +319,49 @@ def _canonical_faults(data: Any) -> str:
         raise ExploreError(f"bad fault spec: {exc}") from None
 
 
+def _canonical_noc(value: Any) -> tuple[tuple[str, Any], ...]:
+    """Normalize a ``noc`` axis value to its frozen, defaults-filled form.
+
+    ``True`` and an explicit ``{"per_hop_cycles": 4.0, ...}`` of the same
+    defaults normalize identically, so they share a fingerprint.
+    """
+    if value is None or value is False or value == ():
+        return ()
+    if value is True:
+        value = {}
+    if not isinstance(value, Mapping):
+        raise ExploreError(
+            "'noc' must be a bool or an object with keys "
+            f"{sorted(NOC_KEYS)}, got {value!r}"
+        )
+    unknown = set(value) - NOC_KEYS
+    if unknown:
+        raise ExploreError(f"unknown 'noc' keys: {sorted(unknown)}")
+    mesh = value.get("mesh")
+    return _freeze({
+        "per_hop_cycles": float(value.get("per_hop_cycles", 4.0)),
+        "serialization_cycles_per_element": float(
+            value.get("serialization_cycles_per_element", 1.0)
+        ),
+        "mesh": None if mesh is None else int(mesh),
+    })
+
+
+def _canonical_placement(value: Any, noc_on: bool) -> str:
+    if value is None or value == "":
+        return ""
+    if value not in PLACEMENTS:
+        raise ExploreError(
+            f"'placement' must be one of {list(PLACEMENTS)}, got {value!r}"
+        )
+    if not noc_on:
+        raise ExploreError(
+            "'placement' only affects timing through the NoC model; "
+            "add a 'noc' axis or fixed value"
+        )
+    return str(value)
+
+
 def compute_fingerprint(job: Job) -> str:
     """sha256 over the built graph's canonical JSON plus job config."""
     payload: dict[str, Any] = {
@@ -303,6 +378,12 @@ def compute_fingerprint(job: Job) -> str:
     # results) must stay valid for the default-off configuration.
     if job.telemetry:
         payload["telemetry"] = True
+    # Same contract for the NoC axes: absent keys keep every pre-NoC
+    # fingerprint (and its cached result) valid.
+    if job.noc:
+        payload["noc"] = dict(job.noc)
+        if job.placement:
+            payload["placement"] = job.placement
     try:
         payload["graph"] = graph_fingerprint(job.build_app())
     except GraphError:
@@ -386,6 +467,8 @@ def _route(point: Mapping[str, Any], spec: SweepSpec) -> Job:
     options: dict[str, Any] = {}
     frames = spec.frames
     telemetry = False
+    noc: tuple[tuple[str, Any], ...] = ()
+    placement_raw: Any = ""
     fault_base: Mapping[str, Any] | None = None
     fault_seed: int | None = None
     for key, value in point.items():
@@ -397,6 +480,10 @@ def _route(point: Mapping[str, Any], spec: SweepSpec) -> Job:
             frames = int(value)
         elif key == "telemetry":
             telemetry = bool(value)
+        elif key == "noc":
+            noc = _canonical_noc(value)
+        elif key == "placement":
+            placement_raw = value
         elif key == "faults":
             if value is not None and not isinstance(value, Mapping):
                 raise ExploreError(
@@ -429,6 +516,8 @@ def _route(point: Mapping[str, Any], spec: SweepSpec) -> Job:
         timeout_s=spec.timeout_s,
         faults=faults,
         telemetry=telemetry,
+        noc=noc,
+        placement=_canonical_placement(placement_raw, bool(noc)),
     )
 
 

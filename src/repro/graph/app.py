@@ -13,11 +13,11 @@ untouched.
 from __future__ import annotations
 
 import copy
-from typing import Iterable, Iterator, TYPE_CHECKING
+from typing import Iterator, TYPE_CHECKING
 
 import networkx as nx
 
-from ..errors import GraphError, PortError
+from ..errors import GraphError
 from .edges import DependencyEdge, StreamEdge
 from .kernel import Kernel
 
@@ -53,7 +53,9 @@ class ApplicationGraph:
         scan-line order with end-of-line/end-of-frame tokens interleaved."""
         from ..kernels.sources import ApplicationInput  # circular at module load
 
-        return self.add_kernel(ApplicationInput(name, width, height, rate_hz))  # type: ignore[return-value]
+        return self.add_kernel(
+            ApplicationInput(name, width, height, rate_hz)
+        )  # type: ignore[return-value]
 
     def add_output(self, name: str) -> "ApplicationOutput":
         """Declare an application output (a sink that records arrivals)."""

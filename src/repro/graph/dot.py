@@ -84,7 +84,6 @@ def to_dot(app: ApplicationGraph, *, rankdir: str = "LR",
         return f"{indent}{_quote(name)} [{rendered}];"
 
     if mapping is not None:
-        unmapped = []
         for proc, members in mapping.processors().items():
             lines.append(f"  subgraph cluster_pe{proc} {{")
             lines.append(f'    label="PE{proc}"; style=rounded; color=gray;')
@@ -99,7 +98,7 @@ def to_dot(app: ApplicationGraph, *, rankdir: str = "LR",
             lines.append(node_line(name, kernel))
     for edge in app.edges:
         spec = app.kernel(edge.dst).input_spec(edge.dst_port)
-        style = ' [style=dashed]' if spec.replicated else ""
+        style = " [style=dashed]" if spec.replicated else ""
         lines.append(
             f"  {_quote(edge.src)} -> {_quote(edge.dst)}{style};"
         )

@@ -385,7 +385,9 @@ class Kernel:
                 return m
         return None
 
-    def token_method_for(self, port: str, token_cls: type[ControlToken]) -> MethodSpec | None:
+    def token_method_for(
+        self, port: str, token_cls: type[ControlToken]
+    ) -> MethodSpec | None:
         """The control method handling ``token_cls`` on ``port``, if any.
 
         The most specific registered handler wins (a handler for a token
@@ -396,7 +398,9 @@ class Kernel:
             if m.token is None or m.token.input_name != port:
                 continue
             if issubclass(token_cls, m.token.token_cls):
-                if best is None or issubclass(m.token.token_cls, best.token.token_cls):  # type: ignore[union-attr]
+                if best is None or issubclass(
+                    m.token.token_cls, best.token.token_cls
+                ):  # type: ignore[union-attr]
                     best = m
         return best
 

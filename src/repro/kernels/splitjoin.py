@@ -28,7 +28,6 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Mapping, Sequence
 
-import numpy as np
 
 from ..errors import AnalysisError, GraphError
 from ..geometry import Inset, Region, Size2D

@@ -20,7 +20,7 @@ placement — are what the benchmarks reproduce.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING
 
 from ..errors import ResourceError
 

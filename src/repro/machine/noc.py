@@ -1,0 +1,299 @@
+"""Network-on-chip timing model: XY routing, link contention, stats.
+
+The paper's simulator deliberately ignores placement and communication
+delay (Section IV-D): placement only determines communication *energy*.
+This module is the extension the paper left on the table — it makes
+placement matter for *timing*.  When a :class:`NocModel` is attached to
+:class:`~repro.sim.SimulationOptions`, every inter-element data transfer
+is routed over the 2-D mesh of :mod:`repro.machine.chip` using the active
+:class:`~repro.machine.placement.Placement`:
+
+* routes are dimension-ordered (**XY**): east/west along the row first,
+  then north/south along the column — deadlock-free and deterministic;
+* a transfer costs ``hops * per_hop_cycles`` of header latency plus one
+  payload serialization (``elements * serialization_cycles_per_element``),
+  the classic wormhole approximation;
+* each directed link is a serial resource: a transfer occupies every link
+  on its route for its serialization time, and a transfer reaching a busy
+  link queues in simulated time — deterministic per-link contention;
+* control tokens ride a dedicated control plane for free, but never
+  overtake data already in flight on their channel (FIFO order per
+  channel is part of the runtime's determinism contract);
+* transfers with an off-chip endpoint (application inputs/outputs,
+  constant sources) or between kernels multiplexed onto one element stay
+  local — exactly the traffic that
+  :func:`~repro.machine.placement.traffic_matrix` excludes.
+
+Links are encoded as small integers (``4 * tile_index + direction``) so
+the simulator's contention table is a flat dict of floats; ``link_name``
+renders them as ``(x,y)->(x',y')`` for reports and telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..errors import PlacementError
+from .chip import ManyCoreChip, Tile
+from .processor import ProcessorSpec
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a machine<->transform cycle
+    from ..transform.multiplex import Mapping as KernelMapping
+    from .placement import Placement
+
+__all__ = [
+    "NocModel",
+    "NocStats",
+    "fit_chip",
+    "link_name",
+    "route_path",
+    "row_major_placement",
+    "xy_route",
+]
+
+#: Directed-link direction codes (east, west, south, north in grid terms;
+#: "south" is increasing y because tiles index top-down like the mesh).
+_EAST, _WEST, _SOUTH, _NORTH = 0, 1, 2, 3
+
+_DIR_STEP = {
+    _EAST: (1, 0),
+    _WEST: (-1, 0),
+    _SOUTH: (0, 1),
+    _NORTH: (0, -1),
+}
+
+
+def _link(cols: int, x: int, y: int, direction: int) -> int:
+    return 4 * (y * cols + x) + direction
+
+
+def xy_route(cols: int, src: Tile, dst: Tile) -> tuple[int, ...]:
+    """Directed link ids from ``src`` to ``dst``, X dimension first.
+
+    The route length always equals the Manhattan distance between the
+    tiles; two transfers between the same tile pair share every link,
+    which is what makes per-channel FIFO order fall out of the link
+    contention model.
+    """
+    links = []
+    x, y = src.x, src.y
+    step = _EAST if dst.x > x else _WEST
+    while x != dst.x:
+        links.append(_link(cols, x, y, step))
+        x += 1 if step == _EAST else -1
+    step = _SOUTH if dst.y > y else _NORTH
+    while y != dst.y:
+        links.append(_link(cols, x, y, step))
+        y += 1 if step == _SOUTH else -1
+    return tuple(links)
+
+
+def link_name(link: int, cols: int) -> str:
+    """Human-readable ``(x,y)->(x',y')`` form of a directed link id."""
+    tile, direction = divmod(link, 4)
+    x, y = tile % cols, tile // cols
+    dx, dy = _DIR_STEP[direction]
+    return f"({x},{y})->({x + dx},{y + dy})"
+
+
+def route_path(links: tuple[int, ...], cols: int) -> str:
+    """Tile path ``(x,y)->...->(x',y')`` traversed by a link sequence."""
+    if not links:
+        return ""
+    tile, _ = divmod(links[0], 4)
+    parts = [f"({tile % cols},{tile // cols})"]
+    for link in links:
+        tile, direction = divmod(link, 4)
+        x, y = tile % cols, tile // cols
+        dx, dy = _DIR_STEP[direction]
+        parts.append(f"({x + dx},{y + dy})")
+    return "->".join(parts)
+
+
+def fit_chip(
+    processors: int, processor: ProcessorSpec, *, mesh: int | None = None
+) -> ManyCoreChip:
+    """The smallest square mesh holding ``processors`` elements.
+
+    ``mesh`` forces a side length instead (the CLI's ``--mesh``); it is
+    an error when the forced mesh cannot hold the processors.
+    """
+    if mesh is None:
+        side = 1
+        while side * side < processors:
+            side += 1
+        mesh = max(side, 1)
+    chip = ManyCoreChip(cols=mesh, rows=mesh, processor=processor)
+    if processors > chip.tile_count:
+        raise PlacementError(
+            f"{processors} processors do not fit a {mesh}x{mesh} mesh"
+        )
+    return chip
+
+
+def row_major_placement(
+    mapping: "KernelMapping", chip: ManyCoreChip
+) -> "Placement":
+    """The naive placement: processors fill the mesh in row-major order.
+
+    This is exactly the annealer's starting configuration, exposed so the
+    simulator can price the "no placement effort" baseline; its energy
+    fields are left at zero because no traffic analysis ran.
+    """
+    from .placement import Placement
+
+    procs = sorted(
+        set(mapping.assignment.values()) | set(getattr(mapping, "spares", ()))
+    )
+    if len(procs) > chip.tile_count:
+        raise PlacementError(
+            f"{len(procs)} processors do not fit a chip of "
+            f"{chip.tile_count} tiles"
+        )
+    all_tiles = list(chip.tiles())
+    tiles = {p: all_tiles[i] for i, p in enumerate(procs)}
+    return Placement(
+        chip=chip, tiles=tiles, energy=0.0, initial_energy=0.0
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class NocModel:
+    """An opt-in mesh interconnect: placement plus link timing.
+
+    Attach one to ``SimulationOptions(noc=...)`` and every inter-element
+    data transfer pays routed mesh latency with per-link contention; off
+    (the default ``None``) the simulator's hot path is byte-identical to
+    the paper's no-communication model.
+    """
+
+    #: Processor-to-tile assignment (and the chip it lives on).
+    placement: "Placement"
+    #: Router/link traversal cycles charged per hop (header latency).
+    per_hop_cycles: float = 4.0
+    #: Cycles to stream one payload element through a link; the payload
+    #: occupies every link on its route for this serialization time.
+    serialization_cycles_per_element: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.per_hop_cycles < 0:
+            raise PlacementError(
+                "NocModel.per_hop_cycles must be non-negative, "
+                f"got {self.per_hop_cycles!r}"
+            )
+        if self.serialization_cycles_per_element < 0:
+            raise PlacementError(
+                "NocModel.serialization_cycles_per_element must be "
+                "non-negative, "
+                f"got {self.serialization_cycles_per_element!r}"
+            )
+
+    @property
+    def chip(self) -> ManyCoreChip:
+        return self.placement.chip
+
+    def route(self, src_proc: int, dst_proc: int) -> tuple[int, ...]:
+        """Link ids between two placed processors (XY order)."""
+        tiles = self.placement.tiles
+        try:
+            a, b = tiles[src_proc], tiles[dst_proc]
+        except KeyError as exc:
+            raise PlacementError(
+                f"processor {exc.args[0]} has no tile in the active "
+                f"placement; it covers {sorted(tiles)}"
+            ) from None
+        return xy_route(self.chip.cols, a, b)
+
+    def describe(self) -> str:
+        return (
+            f"NoC on {self.chip.cols}x{self.chip.rows} mesh: "
+            f"{self.per_hop_cycles:g} cycles/hop, "
+            f"{self.serialization_cycles_per_element:g} cycles/element "
+            "serialization"
+        )
+
+
+@dataclass(slots=True)
+class NocStats:
+    """What the interconnect observed during one simulation.
+
+    Only materialized when a :class:`NocModel` was active; the
+    ``SimulationResult.as_dict()`` conformance surface gains a ``noc``
+    section exactly then, so NoC-off fixtures keep their recorded key
+    set.
+    """
+
+    #: Mesh columns, for rendering link names.
+    cols: int = 0
+    #: Data transfers routed over mesh links.
+    transfers_routed: int = 0
+    #: Data transfers that stayed in local memory (same element or an
+    #: off-chip endpoint).
+    transfers_local: int = 0
+    #: Control tokens carried by the free control plane.
+    control_transfers: int = 0
+    #: Sum of route lengths over routed transfers.
+    total_hops: int = 0
+    #: Simulated seconds transfers spent queued for busy links.
+    link_wait_s: float = 0.0
+    #: Directed link id -> accumulated serialization occupancy, seconds.
+    link_busy_s: dict[int, float] = field(default_factory=dict)
+
+    def worst_link(self) -> tuple[int, float] | None:
+        """(link id, busy seconds) of the most occupied link, or None."""
+        if not self.link_busy_s:
+            return None
+        link = min(
+            self.link_busy_s, key=lambda k: (-self.link_busy_s[k], k)
+        )
+        return link, self.link_busy_s[link]
+
+    def as_dict(self, makespan_s: float) -> dict:
+        """JSON-safe summary: totals plus link-utilization extremes."""
+        worst = self.worst_link()
+        links_used = sum(1 for v in self.link_busy_s.values() if v > 0.0)
+        busy_total = sum(self.link_busy_s.values())
+        d: dict = {
+            "transfers_routed": self.transfers_routed,
+            "transfers_local": self.transfers_local,
+            "control_transfers": self.control_transfers,
+            "total_hops": self.total_hops,
+            "mean_hops": (
+                self.total_hops / self.transfers_routed
+                if self.transfers_routed else 0.0
+            ),
+            "link_wait_s": self.link_wait_s,
+            "links_used": links_used,
+            "mean_link_utilization": (
+                busy_total / (links_used * makespan_s)
+                if links_used and makespan_s > 0 else 0.0
+            ),
+        }
+        if worst is not None:
+            link, busy = worst
+            d["worst_link"] = {
+                "link": link_name(link, self.cols),
+                "busy_s": busy,
+                "utilization": (
+                    busy / makespan_s if makespan_s > 0 else 0.0
+                ),
+            }
+        return d
+
+    def describe(self) -> str:
+        lines = [
+            f"noc: {self.transfers_routed} routed / "
+            f"{self.transfers_local} local data transfers, "
+            f"{self.control_transfers} control tokens, "
+            f"{self.total_hops} total hops, "
+            f"{self.link_wait_s * 1e6:.1f} us link wait"
+        ]
+        worst = self.worst_link()
+        if worst is not None:
+            link, busy = worst
+            lines.append(
+                f"  worst link {link_name(link, self.cols)}: "
+                f"{busy * 1e6:.1f} us busy"
+            )
+        return "\n".join(lines)

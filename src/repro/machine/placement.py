@@ -7,9 +7,21 @@ communication *energy*.  This module provides that pass: processors are
 assigned to tiles of the 2-D mesh so as to minimize total traffic-weighted
 Manhattan distance, with a deterministic annealing schedule.
 
-The result feeds no timing back into the simulator (matching the paper);
-benchmarks report the energy improvement over the naive row-major
-placement.
+Two objectives are supported:
+
+* ``objective="energy"`` (the default, matching the paper): minimize total
+  traffic-weighted Manhattan distance.  The result feeds no timing back
+  into the simulator; benchmarks report the energy improvement over the
+  naive row-major placement.
+* ``objective="makespan"``: minimize a cheap incremental *congestion
+  estimate* of the :class:`~repro.machine.noc.NocModel` mesh — the peak
+  per-link traffic load under XY routing (the serialization bottleneck
+  that bounds the simulated makespan) plus a small total-traffic tiebreak.
+  Per-link loads update incrementally per move (only pairs touching the
+  moved processors re-route), so a full anneal costs seconds, not the
+  hours a simulate-per-candidate loop would.  ``tests/test_noc.py``
+  validates the estimate against full NoC simulation on the Figure 13
+  applications.
 """
 
 from __future__ import annotations
@@ -17,40 +29,52 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Literal, Mapping
 
 from typing import TYPE_CHECKING
 
 from ..analysis.dataflow import DataflowResult
 from ..errors import PlacementError
 from .chip import ManyCoreChip, Tile
+from .noc import xy_route
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a machine<->transform cycle
     from ..transform.multiplex import Mapping as KernelMapping
 
 __all__ = ["Placement", "traffic_matrix", "anneal_placement"]
 
+#: Annealing objectives; see the module docstring.
+PlacementObjective = Literal["energy", "makespan"]
+
 
 @dataclass(frozen=True, slots=True)
 class Placement:
-    """Processor-to-tile assignment with its communication energy."""
+    """Processor-to-tile assignment with its objective cost.
+
+    ``energy``/``initial_energy`` hold the annealed objective's cost —
+    traffic-weighted distance for ``objective="energy"``, the congestion
+    estimate for ``objective="makespan"`` — so :attr:`improvement` reads
+    the same either way.
+    """
 
     chip: ManyCoreChip
     tiles: Mapping[int, Tile]
     energy: float
     initial_energy: float
+    objective: str = "energy"
 
     @property
     def improvement(self) -> float:
-        """Energy reduction factor vs the naive row-major placement."""
+        """Cost reduction factor vs the naive row-major placement."""
         if self.energy <= 0:
             return 1.0 if self.initial_energy <= 0 else math.inf
         return self.initial_energy / self.energy
 
     def describe(self) -> str:
         lines = [
-            f"placement on {self.chip.cols}x{self.chip.rows} mesh: energy "
-            f"{self.energy:,.0f} (from {self.initial_energy:,.0f}, "
+            f"placement on {self.chip.cols}x{self.chip.rows} mesh: "
+            f"{self.objective} {self.energy:,.0f} "
+            f"(from {self.initial_energy:,.0f}, "
             f"{self.improvement:.2f}x better)"
         ]
         for proc, tile in sorted(self.tiles.items()):
@@ -89,6 +113,69 @@ def _energy(
     )
 
 
+class _Congestion:
+    """Incrementally maintained per-link loads under XY routing.
+
+    The cost is ``peak link load + total hop-traffic / link count``: the
+    peak is the serialization bottleneck a mesh NoC exposes, the total
+    (which equals the energy objective) breaks plateaus where several
+    placements share a bottleneck.  Loads change only for traffic pairs
+    touching a moved processor, so one move costs O(pairs touching it),
+    not O(all pairs).
+    """
+
+    __slots__ = ("cols", "loads", "total", "link_count", "touching")
+
+    def __init__(
+        self,
+        tiles: dict[int, Tile],
+        traffic: Mapping[tuple[int, int], float],
+        chip: ManyCoreChip,
+    ) -> None:
+        self.cols = chip.cols
+        self.link_count = 4 * chip.tile_count
+        self.loads: dict[int, float] = {}
+        self.total = 0.0
+        self.touching: dict[int, list[tuple[int, int, float]]] = {}
+        for (a, b), rate in traffic.items():
+            self.touching.setdefault(a, []).append((a, b, rate))
+            self.touching.setdefault(b, []).append((a, b, rate))
+            self._shift(tiles, ((a, b, rate),), +1.0)
+
+    def _shift(
+        self,
+        tiles: dict[int, Tile],
+        pairs,
+        sign: float,
+    ) -> None:
+        loads = self.loads
+        cols = self.cols
+        for a, b, rate in pairs:
+            delta = rate * sign
+            for link in xy_route(cols, tiles[a], tiles[b]):
+                new = loads.get(link, 0.0) + delta
+                if -1e-9 < new < 1e-9:
+                    loads.pop(link, None)
+                else:
+                    loads[link] = new
+                self.total += delta
+
+    def pairs_of(self, moved: tuple[int, ...]):
+        """Traffic pairs whose route depends on any moved processor."""
+        if len(moved) == 1:
+            return self.touching.get(moved[0], ())
+        seen: list[tuple[int, int, float]] = []
+        for proc in moved:
+            for pair in self.touching.get(proc, ()):
+                if pair not in seen:
+                    seen.append(pair)
+        return seen
+
+    def cost(self) -> float:
+        peak = max(self.loads.values()) if self.loads else 0.0
+        return peak + self.total / self.link_count
+
+
 def anneal_placement(
     mapping: "KernelMapping",
     dataflow: DataflowResult,
@@ -97,12 +184,22 @@ def anneal_placement(
     seed: int = 0,
     iterations: int = 20_000,
     start_temperature: float | None = None,
+    objective: PlacementObjective = "energy",
 ) -> Placement:
     """Place the mapping's processors onto the chip mesh by annealing.
 
     Classic Metropolis annealing over pairwise tile swaps with a geometric
-    cooling schedule; the RNG is seeded so results are reproducible.
+    cooling schedule; the RNG is seeded so results are reproducible — the
+    same ``(mapping, chip, seed)`` yields an identical :class:`Placement`
+    across processes and platforms (``random.Random`` is specified to be
+    platform-independent, and the test suite holds this with a
+    cross-process regression).
     """
+    if objective not in ("energy", "makespan"):
+        raise PlacementError(
+            f"unknown placement objective {objective!r}; "
+            "expected 'energy' or 'makespan'"
+        )
     # Spares occupy tiles too — they must physically exist to be
     # migration targets — but exchange no traffic until occupied.
     procs = sorted(
@@ -117,12 +214,20 @@ def anneal_placement(
     all_tiles = list(chip.tiles())
     tiles: dict[int, Tile] = {p: all_tiles[i] for i, p in enumerate(procs)}
     free_tiles = all_tiles[len(procs):]
-    initial_energy = _energy(tiles, traffic)
+
+    congestion = (
+        _Congestion(tiles, traffic, chip) if objective == "makespan" else None
+    )
+    if congestion is not None:
+        initial_energy = congestion.cost()
+    else:
+        initial_energy = _energy(tiles, traffic)
 
     if not traffic or len(procs) < 2:
         return Placement(
             chip=chip, tiles=dict(tiles),
             energy=initial_energy, initial_energy=initial_energy,
+            objective=objective,
         )
 
     rng = random.Random(seed)
@@ -139,8 +244,13 @@ def anneal_placement(
     best_energy = energy
     for _ in range(iterations):
         a = rng.choice(procs)
+        moved: tuple[int, ...]
         # Swap with another processor's tile, or move to a free tile.
         if slots and rng.random() < 0.3:
+            moved = (a,)
+            pairs = congestion.pairs_of(moved) if congestion else ()
+            if congestion is not None:
+                congestion._shift(tiles, pairs, -1.0)
             idx = rng.randrange(len(slots))
             old = tiles[a]
             tiles[a] = slots[idx]  # type: ignore[assignment]
@@ -150,9 +260,17 @@ def anneal_placement(
             b = rng.choice(procs)
             if a == b:
                 continue
+            moved = (a, b)
+            pairs = congestion.pairs_of(moved) if congestion else ()
+            if congestion is not None:
+                congestion._shift(tiles, pairs, -1.0)
             tiles[a], tiles[b] = tiles[b], tiles[a]
             undo = ("swap", a, b, None)
-        new_energy = _energy(tiles, traffic)
+        if congestion is not None:
+            congestion._shift(tiles, pairs, +1.0)
+            new_energy = congestion.cost()
+        else:
+            new_energy = _energy(tiles, traffic)
         accept = new_energy <= energy or rng.random() < math.exp(
             (energy - new_energy) / max(temperature, 1e-12)
         )
@@ -162,11 +280,15 @@ def anneal_placement(
                 best_energy = energy
                 best = dict(tiles)
         else:
+            if congestion is not None:
+                congestion._shift(tiles, pairs, -1.0)
             kind, a, other, idx = undo
             if kind == "swap":
                 tiles[a], tiles[other] = tiles[other], tiles[a]
             else:
                 slots[idx], tiles[a] = tiles[a], other  # type: ignore[index]
+            if congestion is not None:
+                congestion._shift(tiles, pairs, +1.0)
         temperature *= cooling
 
     return Placement(
@@ -174,4 +296,5 @@ def anneal_placement(
         tiles=best,
         energy=best_energy,
         initial_energy=initial_energy,
+        objective=objective,
     )

@@ -53,12 +53,12 @@ class TelemetryConfig:
     def __post_init__(self) -> None:
         if self.max_spans is not None and self.max_spans <= 0:
             raise SimulationError(
-                f"TelemetryConfig.max_spans must be positive or None, "
+                "TelemetryConfig.max_spans must be positive or None, "
                 f"got {self.max_spans!r}"
             )
         if self.reservoir_size <= 0:
             raise SimulationError(
-                f"TelemetryConfig.reservoir_size must be positive, "
+                "TelemetryConfig.reservoir_size must be positive, "
                 f"got {self.reservoir_size!r}"
             )
 
@@ -83,7 +83,7 @@ class TelemetryConfig:
                 )
             return cls(**value)
         raise SimulationError(
-            f"SimulationOptions.telemetry must be a bool, a mapping, or a "
+            "SimulationOptions.telemetry must be a bool, a mapping, or a "
             f"TelemetryConfig, got {type(value).__name__}"
         )
 
@@ -92,7 +92,7 @@ class TelemetryCollector:
     """Accumulates spans and metrics as the event loop reports them."""
 
     __slots__ = ("config", "spans", "dropped", "metrics", "_seq",
-                 "_arrivals")
+                 "_arrivals", "link_occupancy")
 
     def __init__(self, config: TelemetryConfig) -> None:
         self.config = config
@@ -102,6 +102,9 @@ class TelemetryCollector:
         self._seq = 0
         #: id(channel) -> deque of delivery times of items still queued.
         self._arrivals: dict[int, deque] = {}
+        #: (link label, start_s, end_s) serialization intervals reported
+        #: by the NoC model; empty unless one was active.
+        self.link_occupancy: list[tuple[str, float, float]] = []
 
     # -- plumbing ------------------------------------------------------
 
@@ -118,8 +121,16 @@ class TelemetryCollector:
 
     # -- hooks called from the simulator loop --------------------------
 
-    def transfer(self, time: float, ch, item, is_token: bool) -> None:
-        """One item pushed onto ``ch`` (data chunk or control token)."""
+    def transfer(self, time: float, ch, item, is_token: bool, *,
+                 hops: int = 0, link_wait_s: float = 0.0, route: str = "",
+                 links: tuple = ()) -> None:
+        """One item pushed onto ``ch`` (data chunk or control token).
+
+        The keyword extras are supplied only by the NoC-enabled delivery
+        path: ``time`` is then the routed arrival, ``links`` the
+        ``(label, start_s, end_s)`` serialization interval the transfer
+        held on each link of its route.
+        """
         arrivals = self._arrivals.get(id(ch))
         if arrivals is None:
             arrivals = self._arrivals[id(ch)] = deque()
@@ -133,10 +144,17 @@ class TelemetryCollector:
         else:
             self.metrics.counter("transfer_bytes", edge=edge).inc(nbytes)
         self.metrics.gauge("channel_occupancy", edge=edge).set(occupancy)
+        if route:
+            self.metrics.counter("noc_hops", edge=edge).inc(hops)
+            self.metrics.histogram("noc_link_wait_s", edge=edge).observe(
+                link_wait_s
+            )
+            self.link_occupancy.extend(links)
         self._add(TransferSpan(
             seq=self._next_seq(), start_s=time, src=ch.src,
             src_port=ch.src_port, dst=ch.dst, dst_port=ch.dst_port,
             bytes=nbytes, token=is_token, occupancy=occupancy,
+            hops=hops, link_wait_s=link_wait_s, route=route,
         ))
 
     def _consume_waits(self, time: float, st, firing, firing_seq: int) -> None:
@@ -299,6 +317,7 @@ class TelemetryCollector:
             metrics=self.metrics,
             makespan_s=makespan_s,
             dropped_spans=self.dropped,
+            link_occupancy=self.link_occupancy,
         )
 
 
@@ -312,6 +331,11 @@ class Telemetry:
     metrics: MetricsRegistry
     makespan_s: float
     dropped_spans: int = 0
+    #: NoC link serialization intervals (label, start_s, end_s); empty
+    #: unless a NoC model was active during the run.
+    link_occupancy: list[tuple[str, float, float]] = field(
+        default_factory=list
+    )
 
     def spans_of(self, kind: str) -> list[Span]:
         return [s for s in self.spans if s.kind == kind]

@@ -12,7 +12,10 @@ directly):
   process (``pid`` 2), spanning delivery -> consumption — the queue-wait
   picture;
 * counter (``ph: "C"``) tracks for channel occupancy;
-* instant (``ph: "i"``) events for faults and recovery actions.
+* instant (``ph: "i"``) events for faults and recovery actions;
+* when a NoC model was active: a ``noc links`` process (``pid`` 3) with
+  one counter track per mesh link (in-flight serializations over time)
+  and instant route-metadata events per routed transfer.
 
 Timestamps are microseconds, as the format requires.  The exporter is
 deterministic: identical telemetry serializes to identical JSON.
@@ -49,6 +52,7 @@ __all__ = [
 #: Process ids used in the export.
 _PID_SIM = 1
 _PID_CHANNELS = 2
+_PID_NOC = 3
 
 #: Thread id for the off-chip boundary track (inputs/outputs/constants).
 _TID_IO = 1_000_000
@@ -128,6 +132,13 @@ def to_perfetto(telemetry: Telemetry, *, app: str = "") -> dict:
                 "ph": "C", "pid": _PID_CHANNELS, "ts": _us(span.start_s),
                 "args": {"items": span.occupancy},
             })
+            if span.route:
+                events.append({
+                    "name": f"route {span.edge}", "cat": "noc", "ph": "i",
+                    "pid": _PID_NOC, "ts": _us(span.start_s), "s": "p",
+                    "args": {"route": span.route, "hops": span.hops,
+                             "link_wait_s": span.link_wait_s},
+                })
         elif isinstance(span, FaultSpan):
             tid = span.processor if span.processor is not None else _TID_IO
             events.append({
@@ -144,6 +155,25 @@ def to_perfetto(telemetry: Telemetry, *, app: str = "") -> dict:
                 "s": "t", "args": {"kernel": span.kernel},
             })
         # IdleSpans are implicit in the timeline (gaps between slices).
+    if telemetry.link_occupancy:
+        events.append({
+            "name": "process_name", "ph": "M", "pid": _PID_NOC,
+            "args": {"name": "noc links"},
+        })
+        by_link: dict[str, list[tuple[float, int]]] = {}
+        for label, start, end in telemetry.link_occupancy:
+            steps = by_link.setdefault(label, [])
+            steps.append((start, +1))
+            steps.append((end, -1))
+        for label in sorted(by_link):
+            depth = 0
+            for ts, delta in sorted(by_link[label]):
+                depth += delta
+                events.append({
+                    "name": f"link {label}", "cat": "noc", "ph": "C",
+                    "pid": _PID_NOC, "ts": _us(ts),
+                    "args": {"in_flight": depth},
+                })
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -168,7 +198,7 @@ def validate_perfetto(doc: object) -> dict[str, int]:
     ``ValueError`` naming the first offending event otherwise.
     """
     if not isinstance(doc, dict):
-        raise ValueError(f"trace document must be a JSON object, "
+        raise ValueError("trace document must be a JSON object, "
                          f"got {type(doc).__name__}")
     events = doc.get("traceEvents")
     if not isinstance(events, list):

@@ -68,7 +68,7 @@ class Histogram:
 
     def __init__(self, capacity: int = DEFAULT_RESERVOIR) -> None:
         if capacity <= 0:
-            raise ValueError(f"histogram capacity must be positive, "
+            raise ValueError("histogram capacity must be positive, "
                              f"got {capacity!r}")
         self.count = 0
         self.total = 0.0

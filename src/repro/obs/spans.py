@@ -88,7 +88,17 @@ class FiringSpan:
 
 @dataclass(frozen=True, slots=True)
 class TransferSpan:
-    """One item delivered onto a channel (instantaneous in the model)."""
+    """One item delivered onto a channel.
+
+    Instantaneous in the paper's free-communication model.  When a
+    :class:`~repro.machine.noc.NocModel` is active, transfers routed over
+    the mesh record their route: ``start_s`` is then the *arrival* time
+    at the consumer, ``hops``/``link_wait_s`` the route length and the
+    time spent queued for busy links, and ``route`` the tile path (empty
+    for local/off-chip transfers and control tokens, which never route).
+    The NoC fields default to the off-model values and are serialized
+    only when a route exists, so NoC-off span digests are unchanged.
+    """
 
     kind: ClassVar[str] = "transfer"
 
@@ -103,6 +113,12 @@ class TransferSpan:
     token: bool
     #: Channel occupancy (items) right after this delivery.
     occupancy: int
+    #: Mesh links traversed (0 when unrouted or the NoC model is off).
+    hops: int = 0
+    #: Simulated seconds spent queued for busy links along the route.
+    link_wait_s: float = 0.0
+    #: Tile path ``(x,y)->...->(x',y')``, empty when unrouted.
+    route: str = ""
 
     @property
     def duration_s(self) -> float:
@@ -220,6 +236,10 @@ def span_as_dict(span: Span) -> dict:
         d.update(src=span.src, src_port=span.src_port, dst=span.dst,
                  dst_port=span.dst_port, bytes=span.bytes,
                  token=span.token, occupancy=span.occupancy)
+        if span.route:
+            # NoC-routed transfers only: keeps NoC-off digests identical.
+            d.update(hops=span.hops, link_wait_s=span.link_wait_s,
+                     route=span.route)
     elif isinstance(span, WaitSpan):
         d.update(consumer_seq=span.consumer_seq, duration_s=span.duration_s,
                  kernel=span.kernel, port=span.port, src=span.src)

@@ -63,7 +63,9 @@ class FunctionalResult:
         except KeyError:
             raise SimulationError(f"no application output named {name!r}") from None
 
-    def output_frame(self, name: str, frame: int, width: int, height: int) -> np.ndarray:
+    def output_frame(
+        self, name: str, frame: int, width: int, height: int
+    ) -> np.ndarray:
         """Reassemble scan-line 1x1 chunks of one frame into an array."""
         chunks = self.output(name)
         per_frame = width * height

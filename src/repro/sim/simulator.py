@@ -59,6 +59,7 @@ from ..faults import FaultInjector, FaultSpec, FaultStats
 from ..graph.app import ApplicationGraph
 from ..obs.collect import Telemetry, TelemetryCollector, TelemetryConfig
 from ..kernels.sources import ApplicationInput, ApplicationOutput, ConstantSource
+from ..machine.noc import NocModel, NocStats, link_name, route_path
 from ..machine.processor import ProcessorSpec
 from ..tokens import ControlToken
 from ..transform.compile import CompiledApp
@@ -115,6 +116,11 @@ class SimulationOptions:
     #: local, observably identical to the seed), True for defaults, or a
     #: :class:`~repro.obs.TelemetryConfig` / mapping for tuned limits.
     telemetry: TelemetryConfig | None = None
+    #: Network-on-chip timing model (see :mod:`repro.machine.noc`), or
+    #: None for the paper's free-communication substrate.  Rides the same
+    #: ``is not None`` hook seam as ``faults``/``telemetry``: off means
+    #: the hot path is observably identical to the seed loop.
+    noc: NocModel | None = None
 
     def __post_init__(self) -> None:
         # Validate up front: a bad knob should name itself here, not
@@ -122,17 +128,17 @@ class SimulationOptions:
         # loop thousands of events later.
         if self.frames < 0:
             raise SimulationError(
-                f"SimulationOptions.frames must be non-negative, "
+                "SimulationOptions.frames must be non-negative, "
                 f"got {self.frames!r}"
             )
         if self.input_channel_capacity <= 0:
             raise SimulationError(
-                f"SimulationOptions.input_channel_capacity must be "
+                "SimulationOptions.input_channel_capacity must be "
                 f"positive, got {self.input_channel_capacity!r}"
             )
         if self.channel_capacity is not None and self.channel_capacity <= 0:
             raise SimulationError(
-                f"SimulationOptions.channel_capacity must be positive or "
+                "SimulationOptions.channel_capacity must be positive or "
                 f"None, got {self.channel_capacity!r}"
             )
         for key, cap in (self.channel_capacity_overrides or {}).items():
@@ -143,12 +149,12 @@ class SimulationOptions:
                 )
         if self.throughput_tolerance < 0:
             raise SimulationError(
-                f"SimulationOptions.throughput_tolerance must be "
+                "SimulationOptions.throughput_tolerance must be "
                 f"non-negative, got {self.throughput_tolerance!r}"
             )
         if self.max_events <= 0:
             raise SimulationError(
-                f"SimulationOptions.max_events must be positive, "
+                "SimulationOptions.max_events must be positive, "
                 f"got {self.max_events!r}"
             )
         if self.faults is not None and not isinstance(self.faults, FaultSpec):
@@ -158,7 +164,7 @@ class SimulationOptions:
                 )
             else:
                 raise SimulationError(
-                    f"SimulationOptions.faults must be a FaultSpec, a "
+                    "SimulationOptions.faults must be a FaultSpec, a "
                     f"mapping, or None, got {type(self.faults).__name__}"
                 )
         if self.telemetry is not None and not isinstance(
@@ -166,6 +172,11 @@ class SimulationOptions:
         ):
             object.__setattr__(
                 self, "telemetry", TelemetryConfig.coerce(self.telemetry)
+            )
+        if self.noc is not None and not isinstance(self.noc, NocModel):
+            raise SimulationError(
+                "SimulationOptions.noc must be a NocModel or None, "
+                f"got {type(self.noc).__name__}"
             )
 
 
@@ -240,6 +251,8 @@ class SimulationResult:
     fault_stats: FaultStats = field(default_factory=FaultStats)
     #: Full-fidelity telemetry (None unless options.telemetry enabled).
     telemetry: Telemetry | None = None
+    #: Interconnect accounting (None unless options.noc was set).
+    noc_stats: NocStats | None = None
 
     def frame_completions(self, output: str, chunks_per_frame: int) -> list[float]:
         """Completion time of each full frame at ``output``."""
@@ -308,6 +321,10 @@ class SimulationResult:
         # telemetry-off runs keep the recorded fixtures' exact key set.
         if self.telemetry is not None:
             d["telemetry"] = self.telemetry.as_dict()
+        # Same contract again: link-utilization and worst-link stats
+        # appear only when a NoC model was active.
+        if self.noc_stats is not None:
+            d["noc"] = self.noc_stats.as_dict(self.makespan_s)
         return d
 
     def verdict(
@@ -404,8 +421,10 @@ class SimulationResult:
 
 
 # Event kinds, ordered so same-time events process deterministically:
-# deliveries before completions before polls.
-_DELIVER, _FINISH, _POLL = 0, 1, 2
+# source deliveries before completions before NoC arrivals before polls.
+# (_ARRIVE events exist only when a NoC model is active; the relative
+# order of the other three is exactly the seed's.)
+_DELIVER, _FINISH, _ARRIVE, _POLL = 0, 1, 2, 3
 
 
 class _ProcState:
@@ -789,6 +808,162 @@ class Simulator:
                         if len(events) > peak_heap:
                             peak_heap = len(events)
 
+        # --- NoC timing model (inert and absent when opts.noc is None) ---
+        # The third deliver variant: inter-element data transfers are
+        # routed XY over the mesh with per-link contention and land as
+        # _ARRIVE events; local/off-chip transfers and control tokens
+        # keep the seed's instant-push semantics (tokens additionally
+        # never overtake data in flight on their channel).  A separate
+        # closure again keeps the NoC-off deliver byte-identical.
+        noc = opts.noc
+        nstats = NocStats()
+        noc_push = None
+        if noc is not None:
+            placed_tiles = noc.placement.tiles
+            need = set(proc_states) | set(getattr(self.mapping, "spares", ()))
+            unplaced = sorted(p for p in need if p not in placed_tiles)
+            if unplaced:
+                raise SimulationError(
+                    "NoC placement has no tiles for processors "
+                    f"{unplaced}; it covers {sorted(placed_tiles)}"
+                )
+            nstats.cols = noc.chip.cols
+            clock_for_noc = self.processor.clock_hz
+            hop_s = noc.per_hop_cycles / clock_for_noc
+            ser_cpe = noc.serialization_cycles_per_element
+            link_busy: dict[int, float] = {}
+            link_busy_s = nstats.link_busy_s
+            route_cache: dict[tuple[int, int], tuple[int, ...]] = {}
+            route_strs: dict[tuple[int, int], str] = {}
+            link_labels: dict[int, str] = {}
+            #: id(channel) -> latest scheduled arrival (FIFO fence).
+            ch_last: dict[int, float] = {}
+
+            def noc_push(time: float, ch, dst, checked: bool, item,
+                         is_token: bool, meta) -> None:
+                """Land one item on its channel (shared by the local path
+                and the _ARRIVE handler); mirrors the seed's inlined
+                Channel.push exactly."""
+                nonlocal peak_heap
+                items = ch.items
+                items.append(item)
+                counter = ch.seq
+                counter.value = stamp = counter.value + 1
+                ch.seqs.append(stamp)
+                if is_token:
+                    ch.total_tokens += 1
+                else:
+                    ch.total_data += 1
+                occupancy = len(items)
+                if occupancy > ch.max_occupancy:
+                    ch.max_occupancy = occupancy
+                if checked and occupancy > input_cap:
+                    violations.append(
+                        _Violation(
+                            time=time,
+                            where=f"{ch.src}->{ch.dst}.{ch.dst_port}",
+                            detail="input overran its consumer",
+                        )
+                    )
+                if tele is not None:
+                    if meta is None:
+                        tele.transfer(time, ch, item, is_token)
+                    else:
+                        hops, wait, rstr, links = meta
+                        tele.transfer(time, ch, item, is_token, hops=hops,
+                                      link_wait_s=wait, route=rstr,
+                                      links=links)
+                if queued_polls.get(dst) != time:
+                    queued_polls[dst] = time
+                    heappush(events, (time, _POLL, next_seq(), dst))
+                    if len(events) > peak_heap:
+                        peak_heap = len(events)
+
+            def deliver(time: float, st_src: _KernelState, port: str,
+                        item) -> None:
+                nonlocal peak_heap
+                is_token = isinstance(item, ControlToken)
+                ser_s = 0.0 if is_token else item.size * ser_cpe / clock_for_noc
+                dup = False
+                for ch, dst, checked in st_src.out.get(port, ()):
+                    if (ch_faulted is not None and not is_token
+                            and id(ch) in ch_faulted):
+                        # Interconnect faults strike at injection, before
+                        # the transfer occupies any link.
+                        if injector.transfer_dropped():
+                            if tele is not None:
+                                tele.transfer_dropped(time, ch)
+                            continue
+                        dup = injector.transfer_duplicated()
+                    sp = st_src.proc
+                    dp = dst.proc
+                    if sp is None or dp is None or sp is dp:
+                        route = ()
+                    else:
+                        key = (sp.index, dp.index)
+                        route = route_cache.get(key)
+                        if route is None:
+                            route = route_cache[key] = noc.route(*key)
+                    copies = 2 if dup else 1
+                    dup = False
+                    for _ in range(copies):
+                        if not route:
+                            if not is_token:
+                                nstats.transfers_local += 1
+                            noc_push(time, ch, dst, checked, item,
+                                     is_token, None)
+                            continue
+                        chid = id(ch)
+                        last = ch_last.get(chid, 0.0)
+                        links_meta = ()
+                        if is_token:
+                            # Control plane: free, but FIFO per channel.
+                            arrival = time if time > last else last
+                            wait = 0.0
+                            nstats.control_transfers += 1
+                        else:
+                            t = time
+                            wait = 0.0
+                            track = tele is not None
+                            if track:
+                                links_meta = []
+                            for link in route:
+                                busy = link_busy.get(link, 0.0)
+                                start = busy if busy > t else t
+                                wait += start - t
+                                end = start + ser_s
+                                link_busy[link] = end
+                                link_busy_s[link] = (
+                                    link_busy_s.get(link, 0.0) + ser_s
+                                )
+                                if track:
+                                    label = link_labels.get(link)
+                                    if label is None:
+                                        label = link_labels[link] = \
+                                            link_name(link, nstats.cols)
+                                    links_meta.append((label, start, end))
+                                t = start + hop_s
+                            arrival = t + ser_s
+                            if arrival < last:
+                                arrival = last
+                            nstats.transfers_routed += 1
+                            nstats.total_hops += len(route)
+                            nstats.link_wait_s += wait
+                        ch_last[chid] = arrival
+                        meta = None
+                        if tele is not None and not is_token:
+                            rstr = route_strs.get(key)
+                            if rstr is None:
+                                rstr = route_strs[key] = \
+                                    route_path(route, nstats.cols)
+                            meta = (len(route), wait, rstr,
+                                    tuple(links_meta))
+                        heappush(events, (arrival, _ARRIVE, next_seq(),
+                                          (ch, dst, checked, item,
+                                           is_token, meta)))
+                        if len(events) > peak_heap:
+                            peak_heap = len(events)
+
         # --- startup: init methods, then lazy source cursors -------------
         for name, rk in runtimes.items():
             for result in rk.run_init():
@@ -1131,6 +1306,19 @@ class Simulator:
                     if len(events) > peak_heap:
                         peak_heap = len(events)
 
+            elif kind == _ARRIVE:
+                # NoC arrival: a routed transfer reaches its consumer.
+                # Exists only when a NoC model is active, so the three
+                # seed event kinds above dispatch exactly as before.
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        f"simulation exceeded {max_events} events; "
+                        "the application is likely livelocked"
+                    )
+                ch, dst, checked, item, is_token, meta = payload
+                noc_push(time, ch, dst, checked, item, is_token, meta)
+
             else:  # _DELIVER: one source cursor; drain its timestamp batch
                 idx = payload
                 st = source_states[idx]
@@ -1184,6 +1372,7 @@ class Simulator:
             peak_heap=peak_heap,
             fault_stats=fstats,
             telemetry=tele.finalize(makespan) if tele is not None else None,
+            noc_stats=nstats if noc is not None else None,
         )
 
 

@@ -131,7 +131,7 @@ def compile_application(
             fuse_pipelines=options.fuse_pipelines,
         )
     else:
-        from .parallelize import ParallelizationReport, compute_degrees
+        from .parallelize import ParallelizationReport
 
         parallelization = ParallelizationReport()
         parallelization.degrees = {

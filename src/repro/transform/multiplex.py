@@ -17,7 +17,7 @@ off-chip I/O and do not occupy processing elements.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping as TMapping
 
 from ..analysis.resources import ResourceAnalysis

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..analysis.dataflow import DataflowResult, analyze_dataflow
 from ..errors import TransformError
 from ..geometry import Size2D, Step2D, iteration_grid
 from ..graph.app import ApplicationGraph

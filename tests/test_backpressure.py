@@ -1,14 +1,12 @@
 """Tests for bounded channels and backpressure in the timed simulator."""
 
 import numpy as np
-import pytest
 
 from repro.graph import ApplicationGraph, Kernel, MethodCost
 from repro.kernels import ApplicationOutput, IdentityKernel
 from repro.machine import ProcessorSpec
 from repro.sim import SimulationOptions, Simulator, simulate
 from repro.transform import CompileOptions, compile_application
-from repro.transform.multiplex import map_one_to_one
 
 from helpers import BIG_PROC
 

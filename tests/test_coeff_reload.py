@@ -19,7 +19,7 @@ from repro.kernels import (
 from repro.machine import ProcessorSpec
 from repro.sim import SimulationOptions, run_functional, simulate
 from repro.sim.runtime import Channel, RuntimeKernel, SeqCounter
-from repro.transform import CompileOptions, compile_application
+from repro.transform import compile_application
 
 
 class TestReloadSemantics:

@@ -12,14 +12,12 @@ from repro.kernels import (
     ApplicationOutput,
     BufferKernel,
     ConvolutionKernel,
-    IdentityKernel,
     InitialValueKernel,
-    MedianKernel,
 )
 from repro.machine import ProcessorSpec
 from repro.tokens import EndOfFrame, EndOfLine
 
-from helpers import BIG_PROC, single_kernel_app
+from helpers import BIG_PROC
 
 
 def conv_app(width=100, height=100, rate=50.0):

@@ -4,11 +4,11 @@ import numpy as np
 import pytest
 
 from repro.errors import FiringError, ResourceError
-from repro.graph import ApplicationGraph, Kernel, MethodCost
+from repro.graph import ApplicationGraph
 from repro.kernels import ApplicationOutput, BlockMatchKernel, VariableWorkKernel
 from repro.machine import ProcessorSpec
 from repro.sim import SimulationOptions, simulate
-from repro.transform import CompileOptions, compile_application
+from repro.transform import compile_application
 
 from helpers import BIG_PROC
 

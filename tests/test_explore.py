@@ -22,14 +22,12 @@ from repro.explore import (
     ResultCache,
     ResultStore,
     SweepFinished,
-    SweepOptions,
     SweepSpec,
     SweepStarted,
     aggregate,
     find_max_rate_cached,
     run_sweep,
 )
-from repro.machine import ProcessorSpec
 from repro.transform import compile_application, find_max_rate
 
 from helpers import SMALL_PROC
@@ -291,7 +289,9 @@ class _MemoryProbeCache:
 
 class TestCachedRateSearch:
     def test_second_search_answers_from_cache(self):
-        build = lambda rate: build_image_pipeline(24, 16, rate)
+        def build(rate):
+            return build_image_pipeline(24, 16, rate)
+
         cache = _MemoryProbeCache()
         first = find_max_rate(build, SMALL_PROC, processor_budget=8,
                               low_hz=50.0, probe_cache=cache)
@@ -305,7 +305,9 @@ class TestCachedRateSearch:
         assert second.compiled.processor_count <= 8
 
     def test_disk_probe_cache(self, tmp_path):
-        build = lambda rate: build_image_pipeline(24, 16, rate)
+        def build(rate):
+            return build_image_pipeline(24, 16, rate)
+
         first = find_max_rate_cached(build, SMALL_PROC,
                                      cache_dir=tmp_path, processor_budget=8,
                                      low_hz=50.0)

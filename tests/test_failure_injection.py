@@ -12,14 +12,13 @@ from repro.errors import (
     FiringError,
     GraphError,
     ParallelizationError,
-    RateError,
     SimulationError,
 )
 from repro.graph import ApplicationGraph, Kernel, MethodCost
 from repro.kernels import ApplicationOutput, IdentityKernel
 from repro.machine import ProcessorSpec
 from repro.sim import SimulationOptions, run_functional, simulate
-from repro.transform import CompileOptions, compile_application
+from repro.transform import compile_application
 
 from helpers import BIG_PROC
 

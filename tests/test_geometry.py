@@ -1,6 +1,5 @@
 """Unit tests for 2-D geometry: sizes, steps, offsets, regions, iteration."""
 
-import math
 from fractions import Fraction
 
 import pytest

@@ -9,7 +9,7 @@ from repro.graph import ApplicationGraph
 from repro.kernels import ApplicationOutput, ConvolutionKernel
 from repro.machine import ProcessorSpec
 from repro.sim import SimulationOptions, simulate
-from repro.transform import CompileOptions, compile_application
+from repro.transform import compile_application
 
 PROC = ProcessorSpec(clock_hz=20e6, memory_words=512)
 

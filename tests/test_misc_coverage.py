@@ -15,9 +15,8 @@ from repro.kernels import (
     GaussianKernel,
     MultiplyKernel,
 )
-from repro.machine import ProcessorSpec
 from repro.sim import SimulationOptions, run_functional, simulate
-from repro.transform import CompileOptions, compile_application
+from repro.transform import compile_application
 
 from helpers import BIG_PROC, SMALL_PROC, run_compiled
 
@@ -166,7 +165,7 @@ class TestRemainingKernels:
         from repro.errors import SimulationError
 
         app = ApplicationGraph("short")
-        src = app.add_input("Input", 3, 2, 10.0)
+        app.add_input("Input", 3, 2, 10.0)
         app.add_kernel(GaussianKernel("g", 3, 3))  # window taller than frame?
         # 3x3 window fits a 3x2 frame only in x; expect a compile error.
         app.add_kernel(ApplicationOutput("Out", 1, 1))

@@ -1,7 +1,6 @@
 """Tests for morphology kernels and multi-rate (downsampling) pipelines."""
 
 import numpy as np
-import pytest
 import scipy.ndimage as ndi
 
 from repro.analysis import analyze_dataflow
@@ -16,7 +15,7 @@ from repro.kernels import (
     add_opening,
 )
 
-from helpers import BIG_PROC, run_compiled, single_kernel_app
+from helpers import run_compiled, single_kernel_app
 
 RNG = np.random.default_rng(3)
 

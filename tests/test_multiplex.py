@@ -2,17 +2,15 @@
 
 import pytest
 
-from repro.analysis import analyze_resources
 from repro.apps import build_image_pipeline
-from repro.errors import MappingError
-from repro.kernels import ApplicationInput, ApplicationOutput, BufferKernel, ConstantSource
-from repro.machine import ProcessorSpec
-from repro.transform import (
-    CompileOptions,
-    compile_application,
-    map_greedy,
-    map_one_to_one,
+from repro.kernels import (
+    ApplicationInput,
+    ApplicationOutput,
+    BufferKernel,
+    ConstantSource,
 )
+from repro.machine import ProcessorSpec
+from repro.transform import CompileOptions, compile_application
 from repro.transform.multiplex import _is_initial_input_buffer
 
 from helpers import SMALL_PROC

@@ -35,7 +35,6 @@ from repro.machine import ProcessorSpec
 from repro.obs import (
     FiringSpan,
     TelemetryConfig,
-    WaitSpan,
     analyze_critical_path,
     span_as_dict,
     spans_digest,

@@ -3,10 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.analysis import analyze_dataflow, analyze_resources, validate_physical
+from repro.analysis import analyze_resources, validate_physical
 from repro.apps import build_histogram_app, build_image_pipeline
 from repro.errors import ParallelizationError
-from repro.geometry import Size2D
 from repro.graph import ApplicationGraph
 from repro.kernels import (
     ApplicationOutput,
@@ -14,8 +13,6 @@ from repro.kernels import (
     ColumnSplit,
     ConvolutionKernel,
     CountedJoin,
-    HistogramKernel,
-    HistogramMergeKernel,
     IdentityKernel,
     ReplicateKernel,
     RoundRobinJoin,

@@ -283,7 +283,7 @@ class TestDataflowProperties:
 
         from repro.analysis import analyze_dataflow
         from repro.graph import ApplicationGraph
-        from repro.kernels import ApplicationOutput, ConvolutionKernel
+        from repro.kernels import ApplicationOutput
 
         rw, rh, ww, wh, sx, sy = geom
         app = ApplicationGraph("prop")

@@ -35,7 +35,7 @@ class TestRateSearch:
     def test_bracket_is_tight(self):
         """Just above the found rate, the budget no longer suffices."""
         from repro.analysis import build_static_schedule
-        from repro.transform import CompileOptions, compile_application
+        from repro.transform import compile_application
 
         budget = 8
         res = find_max_rate(pipeline, PROC, processor_budget=budget,

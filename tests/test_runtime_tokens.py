@@ -3,9 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.graph import ApplicationGraph, Kernel, MethodCost
+from repro.graph import Kernel, MethodCost
 from repro.kernels import (
-    ApplicationOutput,
     BufferKernel,
     ColumnSplit,
     CountedJoin,
@@ -16,11 +15,9 @@ from repro.kernels import (
     RoundRobinSplit,
     SubtractKernel,
 )
-from repro.sim import run_functional
-from repro.sim.runtime import Channel, RuntimeKernel, SeqCounter, build_runtime
+from repro.sim.runtime import Channel, RuntimeKernel, SeqCounter
 from repro.tokens import ControlToken, EndOfFrame, EndOfLine, custom_token
 
-from helpers import run_compiled, single_kernel_app
 
 
 def make_runtime(kernel, inputs=("in",), fanout=1):

@@ -6,7 +6,6 @@ from repro.analysis import build_static_schedule
 from repro.apps import benchmark_suite, build_image_pipeline
 from repro.errors import ResourceError
 from repro.machine import (
-    EnergyReport,
     EnergySpec,
     ManyCoreChip,
     ProcessorSpec,

@@ -9,13 +9,7 @@ from repro.apps import (
     build_histogram_app,
     build_image_pipeline,
 )
-from repro.machine import ProcessorSpec
-from repro.sim import (
-    SimulationOptions,
-    Simulator,
-    run_functional,
-    simulate,
-)
+from repro.sim import SimulationOptions, run_functional, simulate
 from repro.transform import CompileOptions, compile_application
 
 from helpers import SMALL_PROC

@@ -1,6 +1,5 @@
 """Tests for the align, buffering, and compile transforms (Sections III-B/C)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (
@@ -111,7 +110,9 @@ class TestPadPolicy:
 
     def test_unknown_policy_rejected(self):
         with pytest.raises(TransformError):
-            align_application(build_image_pipeline(), policy="mirror")  # type: ignore[arg-type]
+            align_application(
+                build_image_pipeline(), policy="mirror"
+            )  # type: ignore[arg-type]
 
 
 class TestBuffering:
