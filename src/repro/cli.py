@@ -10,6 +10,10 @@
     python -m repro dot SS --compiled         # Graphviz export
     python -m repro suite                     # the Figure 13 table
     python -m repro explore sweep.json --workers 4   # design-space sweep
+    python -m repro serve --port 8765         # resident sweep service
+    python -m repro submit sweep.json --watch # run a sweep on the service
+    python -m repro watch RUN_ID              # stream a run's events
+    python -m repro jobs                      # list the service's runs
 
 ``simulate``, ``schedule``, ``suite``, and ``explore`` take ``--json``
 for machine-readable output.
@@ -449,6 +453,15 @@ def cmd_explore(args: argparse.Namespace) -> int:
     jobs = spec.jobs()
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     store = ResultStore(args.store) if args.store else None
+    resume = None
+    if args.resume:
+        from .explore import completed_records
+
+        # Resume from a previous run's JSONL store: every fingerprint
+        # with a successful record there is skipped, exactly like a
+        # cache hit — the same logic the service applies (see
+        # docs/serving.md on resumable sweeps).
+        resume = completed_records(ResultStore(args.resume))
     quiet = args.json or args.quiet
     result = run_sweep(
         jobs,
@@ -456,6 +469,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
         store=store,
         options=SweepOptions(workers=args.workers, retries=args.retries),
         on_event=None if quiet else render_event,
+        resume=resume,
     )
     report = result.report()
     if args.json:
@@ -470,6 +484,101 @@ def cmd_explore(args: argparse.Namespace) -> int:
         print()
         print(report.describe())
     return 0 if result.failed == 0 else 1
+
+
+def _serve_client(args: argparse.Namespace):
+    from .serve import ServiceClient
+
+    return ServiceClient(args.url)
+
+
+def _stream_run(client, run_id: str, as_json: bool) -> int:
+    """Render a run's event stream; exit 0 iff it ends ``succeeded``."""
+    from .serve import decode_event
+
+    status = None
+    for envelope in client.events(run_id):
+        if as_json:
+            print(json.dumps(envelope))
+        else:
+            try:
+                print(decode_event(envelope).describe())
+            except ValueError:
+                # Newer service, unknown event type: show, don't die.
+                print(json.dumps(envelope))
+        if envelope.get("event") == "RunFinished":
+            status = envelope.get("status")
+    return 0 if status == "succeeded" else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServiceConfig, run_service
+
+    return run_service(
+        host=args.host,
+        port=args.port,
+        data_dir=args.data_dir,
+        config=ServiceConfig(
+            workers=args.workers,
+            retries=args.retries,
+            retry_timeouts=args.retry_timeouts,
+        ),
+    )
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    with open(args.spec, "r", encoding="utf-8") as fh:
+        try:
+            spec = json.load(fh)
+        except json.JSONDecodeError as exc:
+            print(f"error: sweep spec {args.spec!r} is not JSON: {exc}",
+                  file=sys.stderr)
+            return 2
+    client = _serve_client(args)
+    run = client.submit(spec, priority=args.priority, tenant=args.tenant)
+    if args.json:
+        # With --watch the stream itself is the machine-readable
+        # output (it opens with the RunAccepted envelope).
+        if not args.watch:
+            print(json.dumps({"run": run}, indent=2))
+            return 0
+    else:
+        print(f"accepted run {run['run']} ({run['name']!r}, "
+              f"{run['total']} job(s), priority {run['priority']})")
+    if args.watch:
+        return _stream_run(client, run["run"], args.json)
+    return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    return _stream_run(_serve_client(args), args.run, args.json)
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    runs = _serve_client(args).runs()
+    if args.json:
+        print(json.dumps({"runs": runs}, indent=2))
+        return 0
+    if not runs:
+        print("no runs")
+        return 0
+    print(f"{'run':>12} | {'name':>16} | {'state':>9} | {'status':>9} "
+          f"| done | cached")
+    for run in runs:
+        print(f"{run['run']:>12} | {run['name']:>16} "
+              f"| {run['state']:>9} | {run.get('status') or '-':>9} "
+              f"| {run['done']}/{run['total']} | {run['cache_hits']}")
+    return 0
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    run = _serve_client(args).cancel(args.run)
+    if args.json:
+        print(json.dumps({"run": run}, indent=2))
+    else:
+        print(f"run {run['run']}: {run['state']}"
+              + (f" ({run['status']})" if run.get("status") else ""))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -591,10 +700,63 @@ def build_parser() -> argparse.ArgumentParser:
                    help="execute every job even when cached")
     p.add_argument("--store", default=None,
                    help="append terminal records to this JSONL file")
+    p.add_argument("--resume", default=None, metavar="STORE",
+                   help="skip jobs with a successful record in this "
+                        "JSONL store from an earlier run (failures "
+                        "retry); composes with the cache")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-job progress events")
     p.add_argument("--json", action="store_true",
                    help="machine-readable summary output")
+
+    from .serve import DEFAULT_PORT
+
+    p = sub.add_parser(
+        "serve",
+        help="run the resident multi-tenant sweep service "
+             "(see docs/serving.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=DEFAULT_PORT,
+                   help="listening port (0 = ephemeral)")
+    p.add_argument("--data-dir", default=".repro-serve", dest="data_dir",
+                   help="durable state: sharded cache, JSONL store, "
+                        "run registry, event logs")
+    p.add_argument("--workers", type=int, default=2,
+                   help="concurrent jobs across all runs (each in its "
+                        "own crash-isolated worker process)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="extra attempts for transient job failures")
+    p.add_argument("--retry-timeouts", action="store_true",
+                   dest="retry_timeouts",
+                   help="retry timed-out jobs (default: terminal)")
+
+    def _client_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--url", default=f"http://127.0.0.1:{DEFAULT_PORT}",
+                       help="service base URL")
+        p.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+
+    p = sub.add_parser("submit", help="submit a sweep spec to the service")
+    p.add_argument("spec", help="path to a sweep spec JSON file")
+    p.add_argument("--priority", type=int, default=0,
+                   help="higher runs first on the shared queue")
+    p.add_argument("--tenant", default="",
+                   help="tenant label recorded on the run and its records")
+    p.add_argument("--watch", action="store_true",
+                   help="stream the run's events until its terminal event")
+    _client_args(p)
+
+    p = sub.add_parser("watch", help="stream a run's typed progress events")
+    p.add_argument("run", help="run id (from submit or jobs)")
+    _client_args(p)
+
+    p = sub.add_parser("jobs", help="list the service's runs")
+    _client_args(p)
+
+    p = sub.add_parser("cancel", help="cancel a run on the service")
+    p.add_argument("run", help="run id (from submit or jobs)")
+    _client_args(p)
     return parser
 
 
@@ -610,6 +772,11 @@ _COMMANDS = {
     "energy": cmd_energy,
     "suite": cmd_suite,
     "explore": cmd_explore,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "watch": cmd_watch,
+    "jobs": cmd_jobs,
+    "cancel": cmd_cancel,
 }
 
 

@@ -22,9 +22,10 @@ See ``docs/explore.md`` for the spec format, caching semantics, and
 failure model; ``repro explore`` is the CLI entry point.
 """
 
-from .cache import CACHE_SCHEMA, ResultCache
+from .cache import CACHE_SCHEMA, SHARD_WIDTH, ResultCache
 from .events import (
     EVENT_SCHEMA_VERSION,
+    EVENT_TYPES,
     EventLog,
     JobCacheHit,
     JobFailed,
@@ -37,7 +38,13 @@ from .events import (
     SweepStarted,
     render_event,
 )
-from .executor import SweepOptions, SweepResult, execute_job, run_sweep
+from .executor import (
+    SweepOptions,
+    SweepResult,
+    execute_job,
+    run_job_isolated,
+    run_sweep,
+)
 from .rate_probe import DiskProbeCache, find_max_rate_cached
 from .spec import (
     APP_TEMPLATES,
@@ -49,12 +56,20 @@ from .spec import (
     expand,
     load_spec,
 )
-from .store import STORE_SCHEMA, ResultStore, SweepReport, aggregate
+from .store import (
+    STORE_SCHEMA,
+    ResultStore,
+    SweepReport,
+    aggregate,
+    completed_records,
+)
 
 __all__ = [
     "CACHE_SCHEMA",
+    "SHARD_WIDTH",
     "ResultCache",
     "EVENT_SCHEMA_VERSION",
+    "EVENT_TYPES",
     "EventLog",
     "JobCacheHit",
     "JobFailed",
@@ -69,6 +84,7 @@ __all__ = [
     "SweepOptions",
     "SweepResult",
     "execute_job",
+    "run_job_isolated",
     "run_sweep",
     "DiskProbeCache",
     "find_max_rate_cached",
@@ -84,4 +100,5 @@ __all__ = [
     "ResultStore",
     "SweepReport",
     "aggregate",
+    "completed_records",
 ]

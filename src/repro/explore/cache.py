@@ -6,6 +6,14 @@ result, so a hit is always valid for the job that computed the key.
 Failures are deliberately *not* cached: a failed point retries on the
 next sweep instead of pinning a transient error forever.
 
+Entries are **sharded by fingerprint prefix** — ``root/ab/abcdef….json``
+— so a long-lived multi-tenant store never concentrates every write in
+one directory: concurrent workers (and eventually machines) land in
+different shards, and directory listings stay proportional to one shard.
+Flat pre-sharding layouts (``root/abcdef….json``) are still read
+transparently, so existing caches keep every entry without migration;
+new writes always go to the sharded path.
+
 Writes are atomic (temp file + ``os.replace``) so a killed sweep never
 leaves a truncated entry; a corrupt or schema-mismatched file reads as a
 miss and is overwritten by the next store.
@@ -19,30 +27,38 @@ import tempfile
 from pathlib import Path
 from typing import Any, Iterator
 
-__all__ = ["CACHE_SCHEMA", "ResultCache"]
+__all__ = ["CACHE_SCHEMA", "SHARD_WIDTH", "ResultCache"]
 
 CACHE_SCHEMA = 1
 
+#: Fingerprint-prefix characters naming a shard directory.  Two hex
+#: characters → 256 shards, which keeps per-directory entry counts
+#: small up to millions of cached results.
+SHARD_WIDTH = 2
+
 
 class ResultCache:
-    """A directory of ``<fingerprint>.json`` result records."""
+    """A sharded directory of ``<prefix>/<fingerprint>.json`` records."""
 
     def __init__(self, root: str | os.PathLike[str]) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
 
-    def _path(self, fingerprint: str) -> Path:
+    def _validate(self, fingerprint: str) -> str:
         if not fingerprint or any(c in fingerprint for c in "/\\."):
             raise ValueError(f"malformed fingerprint {fingerprint!r}")
+        return fingerprint
+
+    def _sharded_path(self, fingerprint: str) -> Path:
+        self._validate(fingerprint)
+        return self.root / fingerprint[:SHARD_WIDTH] / f"{fingerprint}.json"
+
+    def _flat_path(self, fingerprint: str) -> Path:
+        """Pre-sharding layout: still readable, never written."""
+        self._validate(fingerprint)
         return self.root / f"{fingerprint}.json"
 
-    def get(self, fingerprint: str) -> dict[str, Any] | None:
-        """The cached record for ``fingerprint``, or None on miss.
-
-        Unreadable or wrong-schema entries are misses, never errors — the
-        cache must not be able to take a sweep down.
-        """
-        path = self._path(fingerprint)
+    def _read(self, path: Path, fingerprint: str) -> dict[str, Any] | None:
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 entry = json.load(fh)
@@ -55,15 +71,27 @@ class ResultCache:
         record = entry.get("record")
         return record if isinstance(record, dict) else None
 
+    def get(self, fingerprint: str) -> dict[str, Any] | None:
+        """The cached record for ``fingerprint``, or None on miss.
+
+        Unreadable or wrong-schema entries are misses, never errors — the
+        cache must not be able to take a sweep down.
+        """
+        record = self._read(self._sharded_path(fingerprint), fingerprint)
+        if record is not None:
+            return record
+        return self._read(self._flat_path(fingerprint), fingerprint)
+
     def put(self, fingerprint: str, record: dict[str, Any]) -> None:
         """Atomically store ``record`` under ``fingerprint``."""
-        path = self._path(fingerprint)
+        path = self._sharded_path(fingerprint)
+        path.parent.mkdir(exist_ok=True)
         entry = {
             "schema": CACHE_SCHEMA,
             "fingerprint": fingerprint,
             "record": record,
         }
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(entry, fh, default=str)
@@ -78,17 +106,31 @@ class ResultCache:
     def __contains__(self, fingerprint: str) -> bool:
         return self.get(fingerprint) is not None
 
+    def _entry_paths(self) -> Iterator[Path]:
+        yield from self.root.glob("*.json")
+        yield from self.root.glob(f"{'?' * SHARD_WIDTH}/*.json")
+
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*.json"))
+        return len({p.stem for p in self._entry_paths()})
 
     def fingerprints(self) -> Iterator[str]:
-        for path in sorted(self.root.glob("*.json")):
-            yield path.stem
+        yield from sorted({p.stem for p in self._entry_paths()})
+
+    def migrate_flat_entries(self) -> int:
+        """Move pre-sharding flat entries into their shards; returns how
+        many moved.  Purely an optimization — reads work either way."""
+        moved = 0
+        for path in list(self.root.glob("*.json")):
+            target = self._sharded_path(path.stem)
+            target.parent.mkdir(exist_ok=True)
+            os.replace(path, target)
+            moved += 1
+        return moved
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
         count = 0
-        for path in self.root.glob("*.json"):
+        for path in list(self._entry_paths()):
             path.unlink(missing_ok=True)
             count += 1
         return count

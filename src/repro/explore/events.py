@@ -3,8 +3,10 @@
 The executor narrates a sweep through these events rather than printing:
 every scheduling decision, cache hit, retry, failure, and completion is
 one immutable event handed to an ``on_event`` callback.  The CLI renders
-them as progress lines; tests assert on them; a future service can ship
-them over a wire — the schema version exists so consumers can tell.
+them as progress lines; tests assert on them; :mod:`repro.serve` ships
+them over a wire as NDJSON — which is why every event type round-trips
+through ``as_dict`` → :meth:`SweepEvent.from_dict` and carries a schema
+version consumers can check.
 
 Invariants (mirrored by the executor and checked by the test suite):
 
@@ -17,11 +19,12 @@ Invariants (mirrored by the executor and checked by the test suite):
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
-from typing import Callable
+from dataclasses import asdict, dataclass, field, fields
+from typing import Callable, Mapping
 
 __all__ = [
     "EVENT_SCHEMA_VERSION",
+    "EVENT_TYPES",
     "SweepEvent",
     "SweepStarted",
     "JobScheduled",
@@ -37,6 +40,11 @@ __all__ = [
 
 EVENT_SCHEMA_VERSION = "1.0"
 
+#: Concrete event classes by name — the wire-decoding registry.  Filled
+#: by ``__init_subclass__`` so a new event type can never forget to
+#: register itself (the round-trip test iterates this mapping).
+EVENT_TYPES: dict[str, type["SweepEvent"]] = {}
+
 
 @dataclass(frozen=True, slots=True)
 class SweepEvent:
@@ -45,11 +53,38 @@ class SweepEvent:
     #: Short human label of the job (empty for sweep-level events).
     label: str
 
+    def __init_subclass__(cls, **kwargs) -> None:
+        # Explicit super: ``@dataclass(slots=True)`` recreates the class,
+        # which orphans the zero-argument form's ``__class__`` cell.
+        super(SweepEvent, cls).__init_subclass__(**kwargs)
+        EVENT_TYPES[cls.__name__] = cls
+
     def as_dict(self) -> dict:
         data = asdict(self)
         data["event"] = type(self).__name__
         data["schema"] = EVENT_SCHEMA_VERSION
         return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SweepEvent":
+        """Rebuild the typed event an ``as_dict`` payload came from.
+
+        Unknown event names and missing fields raise ``ValueError`` (a
+        wire consumer must not silently mistype an event); extra keys —
+        ``schema``, transport envelopes like ``seq`` — are ignored so
+        the format can grow without breaking old decoders.
+        """
+        name = data.get("event")
+        event_cls = EVENT_TYPES.get(name)
+        if event_cls is None:
+            raise ValueError(f"unknown sweep event type {name!r}")
+        try:
+            kwargs = {f.name: data[f.name] for f in fields(event_cls)}
+        except KeyError as exc:
+            raise ValueError(
+                f"event {name!r} payload is missing field {exc.args[0]!r}"
+            ) from None
+        return event_cls(**kwargs)
 
     def describe(self) -> str:  # pragma: no cover - subclasses override
         return f"{type(self).__name__} {self.label}"

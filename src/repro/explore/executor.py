@@ -36,6 +36,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
+import threading
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -43,9 +45,10 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     wait,
 )
+from concurrent.futures import TimeoutError as _FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..errors import BlockParallelError
 from ..sim.simulator import SimulationOptions, simulate
@@ -65,7 +68,13 @@ from .events import (
 from .spec import Job
 from .store import ResultStore, SweepReport, aggregate
 
-__all__ = ["SweepOptions", "SweepResult", "run_sweep", "execute_job"]
+__all__ = [
+    "SweepOptions",
+    "SweepResult",
+    "run_sweep",
+    "execute_job",
+    "run_job_isolated",
+]
 
 #: Results/failures written by this executor.
 RESULT_SCHEMA = 1
@@ -310,6 +319,28 @@ def _mp_context():
     )
 
 
+def _worker_init() -> None:
+    """Reset signal state inherited over ``fork``.
+
+    A forked worker inherits the parent's signal wakeup fd (asyncio's
+    self-pipe when the parent is ``repro serve``) and its no-op Python
+    handlers.  Left alone, terminating the worker would write SIGTERM
+    into the *shared* pipe and the parent's event loop would dispatch
+    its own shutdown handler; and the inherited no-op handler would let
+    a hung worker shrug off ``terminate()``.  Detach the fd and restore
+    default dispositions so signals stay within this process.
+    """
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, signal.SIG_DFL)
+        except (ValueError, OSError):  # pragma: no cover
+            pass
+
+
 def _terminate_pool(pool: ProcessPoolExecutor) -> None:
     """Shut a pool down even when workers are hung or dead.
 
@@ -327,6 +358,60 @@ def _terminate_pool(pool: ProcessPoolExecutor) -> None:
             pass
 
 
+def run_job_isolated(
+    job: Job,
+    *,
+    timeout_s: float | None = None,
+    cancel: threading.Event | None = None,
+    poll_s: float = 0.05,
+) -> dict[str, Any]:
+    """One job attempt in its own single-worker pool, cancellable.
+
+    This is the blocking execution primitive :mod:`repro.serve` drives
+    from worker threads: the same crash isolation and exact blame as
+    :func:`run_sweep`'s pooled path, but for a single attempt with a
+    cooperative ``cancel`` event.  Returns a payload shaped like the
+    pool ``_worker``'s — ``{"ok": True, "stats": ...}`` or ``{"ok":
+    False, "kind": ..., "message": ..., "retryable": ...}`` — with two
+    additional failure kinds the in-process worker cannot produce:
+
+    * ``"timeout"`` once ``timeout_s`` (default: the job's own
+      ``timeout_s``) of wall clock elapses;
+    * ``"cancelled"`` as soon as ``cancel`` is observed set (checked
+      every ``poll_s``); the worker process is terminated either way.
+
+    The pool is always torn down before returning, so a crashed or hung
+    worker never outlives its job.
+    """
+    budget = job.timeout_s if timeout_s is None else timeout_s
+    if cancel is not None and cancel.is_set():
+        return {"ok": False, "kind": "cancelled",
+                "message": "cancelled before start", "retryable": False}
+    pool = ProcessPoolExecutor(max_workers=1, mp_context=_mp_context(),
+                           initializer=_worker_init)
+    deadline = time.monotonic() + budget
+    try:
+        future = pool.submit(_worker, job.to_dict())
+        while True:
+            try:
+                return future.result(timeout=poll_s)
+            except _FutureTimeout:
+                pass
+            except BrokenProcessPool:
+                return {"ok": False, "kind": "crash",
+                        "message": "worker process died", "retryable": True}
+            if cancel is not None and cancel.is_set():
+                return {"ok": False, "kind": "cancelled",
+                        "message": "cancelled mid-flight",
+                        "retryable": False}
+            if time.monotonic() >= deadline:
+                return {"ok": False, "kind": "timeout",
+                        "message": f"exceeded {budget:g}s wall clock",
+                        "retryable": False}
+    finally:
+        _terminate_pool(pool)
+
+
 def run_sweep(
     jobs: Sequence[Job] | Iterable[Job],
     *,
@@ -334,12 +419,17 @@ def run_sweep(
     store: ResultStore | None = None,
     options: SweepOptions = SweepOptions(),
     on_event: Callable[[SweepEvent], None] | None = None,
+    resume: Mapping[str, dict[str, Any]] | None = None,
 ) -> SweepResult:
     """Run every job to exactly one terminal record.
 
     ``cache`` short-circuits jobs whose fingerprint already has a stored
     result; ``store`` receives every terminal record as one JSONL line;
-    ``on_event`` observes progress (see :mod:`repro.explore.events`).
+    ``on_event`` observes progress (see :mod:`repro.explore.events`);
+    ``resume`` is a fingerprint → prior-result mapping (typically
+    :func:`~repro.explore.store.completed_records` over an earlier
+    store) whose entries short-circuit exactly like cache hits — the
+    sweep then completes only the un-cached remainder.
     """
     jobs = list(jobs)
     emit = on_event or (lambda event: None)
@@ -373,6 +463,8 @@ def run_sweep(
     pending: list[_Attempt] = []
     for index, job in enumerate(jobs):
         cached = cache.get(job.fingerprint) if cache is not None else None
+        if cached is None and resume is not None:
+            cached = resume.get(job.fingerprint)
         if cached is not None:
             emit(JobCacheHit(job.label, fingerprint=job.fingerprint))
             finish(index, {**cached, "cache_hit": True})
@@ -462,7 +554,10 @@ def _run_pooled(pending: list[_Attempt], workers: int,
                 task = ready.pop(0)
                 pending.remove(task)
                 emit(JobStarted(task.job.label, attempt=task.attempt))
-                pool = ProcessPoolExecutor(max_workers=1, mp_context=ctx)
+                pool = ProcessPoolExecutor(
+                    max_workers=1, mp_context=ctx,
+                    initializer=_worker_init,
+                )
                 future = pool.submit(_worker, task.job.to_dict())
                 in_flight[future] = _Flight(
                     task=task, pool=pool, started=now,

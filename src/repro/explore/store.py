@@ -16,11 +16,18 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Iterator
 
-__all__ = ["STORE_SCHEMA", "ResultStore", "SweepReport", "aggregate"]
+__all__ = [
+    "STORE_SCHEMA",
+    "ResultStore",
+    "SweepReport",
+    "aggregate",
+    "completed_records",
+]
 
 STORE_SCHEMA = 1
 
@@ -37,6 +44,56 @@ class ResultStore:
         with open(self.path, "a", encoding="utf-8") as fh:
             fh.write(line + "\n")
             fh.flush()
+
+    def compact(self, *, rotate_to: str | os.PathLike[str] | None = None,
+                ) -> dict[str, int]:
+        """Drop superseded records so a long-lived store stays bounded.
+
+        A record is superseded when a *later* line carries the same
+        fingerprint: re-running a sweep point appends a fresh terminal
+        record each time, and only the newest one matters to resume
+        logic and reports.  Records without a fingerprint (foreign or
+        hand-written lines that passed the schema check) are kept
+        verbatim.  The survivors keep their relative order; the rewrite
+        is atomic (temp file + ``os.replace``), so a crash mid-compact
+        leaves the original store intact.
+
+        ``rotate_to`` additionally moves the *pre-compaction* file to
+        that path first (rotation for audit trails), compacting into a
+        fresh file at :attr:`path`.
+
+        Returns ``{"kept": n, "dropped": m}``.
+        """
+        records = self.load()
+        newest: dict[str, int] = {}
+        for index, record in enumerate(records):
+            fingerprint = record.get("fingerprint")
+            if isinstance(fingerprint, str) and fingerprint:
+                newest[fingerprint] = index
+        survivors = [
+            record for index, record in enumerate(records)
+            if not isinstance(record.get("fingerprint"), str)
+            or not record.get("fingerprint")
+            or newest[record["fingerprint"]] == index
+        ]
+        if rotate_to is not None and self.path.exists():
+            rotated = Path(rotate_to)
+            rotated.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(self.path, rotated)
+        fd, tmp = tempfile.mkstemp(dir=self.path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                for record in survivors:
+                    fh.write(json.dumps(record, default=str) + "\n")
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return {"kept": len(survivors),
+                "dropped": len(records) - len(survivors)}
 
     def __iter__(self) -> Iterator[dict[str, Any]]:
         if not self.path.exists():
@@ -170,3 +227,23 @@ class SweepReport:
 def aggregate(records: Iterable[dict[str, Any]]) -> SweepReport:
     """Build a :class:`SweepReport` from raw store records."""
     return SweepReport(records=list(records))
+
+
+def completed_records(
+    records: Iterable[dict[str, Any]],
+) -> dict[str, dict[str, Any]]:
+    """Successful terminal records keyed by fingerprint, newest wins.
+
+    This is the resume index: a sweep resumed against a store skips
+    every job whose fingerprint appears here, exactly as the cache
+    would.  Failures are excluded on purpose — a resumed sweep retries
+    failed points rather than pinning a transient error forever (the
+    same policy the cache applies).
+    """
+    index: dict[str, dict[str, Any]] = {}
+    for record in records:
+        fingerprint = record.get("fingerprint")
+        if (record.get("kind") == "result"
+                and isinstance(fingerprint, str) and fingerprint):
+            index[fingerprint] = record
+    return index

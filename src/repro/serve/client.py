@@ -1,0 +1,136 @@
+"""Blocking stdlib client for the exploration service.
+
+``repro submit``/``watch``/``jobs``/``cancel`` are thin wrappers over
+this class; any other consumer (dashboards, CI) can use it the same
+way.  One ``http.client`` connection per call — the service closes
+connections after each response, and event streams end at EOF right
+after the run's terminal event, so iteration terminates naturally.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Any, Iterator
+from urllib.parse import urlsplit
+
+from .http import DEFAULT_PORT
+from .protocol import ServeError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Talk to one ``repro serve`` instance at ``url``."""
+
+    def __init__(self, url: str = f"http://127.0.0.1:{DEFAULT_PORT}",
+                 *, timeout_s: float = 30.0) -> None:
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme not in ("", "http"):
+            raise ServeError(f"only http:// service URLs work, got {url!r}")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or DEFAULT_PORT
+        self.timeout_s = timeout_s
+
+    # -- plumbing ------------------------------------------------------
+
+    def _connect(self, timeout_s: float | None = None):
+        return http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.timeout_s if timeout_s is None else timeout_s,
+        )
+
+    def _request(self, method: str, path: str,
+                 body: dict[str, Any] | None = None) -> dict[str, Any]:
+        conn = self._connect()
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (ConnectionError, socket.timeout, OSError) as exc:
+                raise ServeError(
+                    f"service at {self.host}:{self.port} unreachable: {exc}"
+                ) from None
+            try:
+                data = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                raise ServeError(
+                    f"non-JSON response from {method} {path}: {raw[:120]!r}"
+                ) from None
+            if response.status >= 400:
+                raise ServeError(
+                    data.get("error", f"{method} {path} -> "
+                                      f"{response.status}")
+                )
+            return data
+        finally:
+            conn.close()
+
+    # -- API -----------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def submit(self, spec: dict[str, Any], *, priority: int = 0,
+               tenant: str = "") -> dict[str, Any]:
+        """Submit a sweep spec; returns the accepted run's info dict."""
+        body: dict[str, Any] = {"spec": spec, "priority": priority}
+        if tenant:
+            body["tenant"] = tenant
+        return self._request("POST", "/v1/runs", body)["run"]
+
+    def runs(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/v1/runs")["runs"]
+
+    def run(self, run_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/v1/runs/{run_id}")["run"]
+
+    def cancel(self, run_id: str) -> dict[str, Any]:
+        return self._request("POST", f"/v1/runs/{run_id}/cancel")["run"]
+
+    def shutdown(self, *, drain: bool = True) -> dict[str, Any]:
+        return self._request("POST", "/v1/shutdown", {"drain": drain})
+
+    def events(self, run_id: str, *, since: int = 0,
+               timeout_s: float | None = None) -> Iterator[dict[str, Any]]:
+        """Stream a run's event envelopes; ends after the terminal event.
+
+        ``timeout_s`` bounds the wait for *each* line, not the whole
+        stream (a sweep can legitimately run for hours); default: no
+        per-line limit.
+        """
+        conn = self._connect(timeout_s=timeout_s)
+        try:
+            try:
+                conn.request("GET", f"/v1/runs/{run_id}/events"
+                                    f"?since={int(since)}")
+                response = conn.getresponse()
+            except (ConnectionError, socket.timeout, OSError) as exc:
+                raise ServeError(
+                    f"service at {self.host}:{self.port} unreachable: {exc}"
+                ) from None
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    message = json.loads(raw).get("error", "")
+                except json.JSONDecodeError:
+                    message = raw[:120].decode("utf-8", "replace")
+                raise ServeError(message or f"events stream -> "
+                                            f"{response.status}")
+            for line in response:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn line on an ungraceful close
+        finally:
+            conn.close()

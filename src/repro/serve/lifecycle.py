@@ -1,0 +1,129 @@
+"""Guarded run lifecycle for the exploration service.
+
+Every submitted sweep is driven through one :class:`RunStateMachine`:
+
+.. code-block:: text
+
+    INIT ──▶ QUEUED ──▶ EXECUTING ──▶ TERMINAL(succeeded | failed)
+      │         │            │            ▲
+      │         ▼            ▼            │
+      └────▶ DRAINING ──────────▶ TERMINAL(cancelled)
+
+The machine is deliberately strict — the scheduler *asserts* its own
+correctness through it rather than trusting itself:
+
+* every transition is checked against the allowed-successor table;
+  anything else raises :class:`LifecycleError`;
+* ``TERMINAL`` is only reachable through :meth:`RunStateMachine.finish`,
+  which records the terminal status and can succeed **exactly once** —
+  the "exactly one terminal event per run" invariant is enforced here,
+  at the narrowest point, not by convention in the scheduler;
+* cancellation is a first-class path: ``DRAINING`` is reachable from
+  every non-terminal state, so a cancel request can always make
+  progress toward ``TERMINAL``.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..errors import BlockParallelError
+
+__all__ = [
+    "RunState",
+    "TERMINAL_STATUSES",
+    "LifecycleError",
+    "RunStateMachine",
+]
+
+
+class RunState(str, Enum):
+    """Phases of a run, tinypipe-style."""
+
+    #: Plan compiled, not yet admitted to the scheduler.
+    INIT = "init"
+    #: Jobs enqueued on the shared priority queue.
+    QUEUED = "queued"
+    #: At least one job picked up by a worker.
+    EXECUTING = "executing"
+    #: Cancellation requested; waiting for in-flight jobs to stop.
+    DRAINING = "draining"
+    #: Done — exactly one terminal status recorded.
+    TERMINAL = "terminal"
+
+
+#: Valid values for the terminal status recorded by ``finish``.
+TERMINAL_STATUSES = ("succeeded", "failed", "cancelled")
+
+_ALLOWED: dict[RunState, frozenset[RunState]] = {
+    RunState.INIT: frozenset({RunState.QUEUED, RunState.DRAINING}),
+    RunState.QUEUED: frozenset({RunState.EXECUTING, RunState.DRAINING}),
+    RunState.EXECUTING: frozenset({RunState.DRAINING, RunState.TERMINAL}),
+    RunState.DRAINING: frozenset({RunState.TERMINAL}),
+    RunState.TERMINAL: frozenset(),
+}
+
+
+class LifecycleError(BlockParallelError):
+    """An illegal run state transition — a scheduler bug, surfaced."""
+
+
+class RunStateMachine:
+    """Current state plus guarded transitions for one run."""
+
+    __slots__ = ("_state", "_status")
+
+    def __init__(self) -> None:
+        self._state = RunState.INIT
+        self._status: str | None = None
+
+    @property
+    def state(self) -> RunState:
+        return self._state
+
+    @property
+    def status(self) -> str | None:
+        """The terminal status, or None while the run is live."""
+        return self._status
+
+    @property
+    def terminal(self) -> bool:
+        return self._state is RunState.TERMINAL
+
+    def advance(self, target: RunState) -> RunState:
+        """Move to ``target``; raises :class:`LifecycleError` if illegal.
+
+        ``TERMINAL`` is rejected here by design — terminalization must
+        go through :meth:`finish` so a status is always recorded.
+        """
+        if target is RunState.TERMINAL:
+            raise LifecycleError(
+                "TERMINAL is only reachable through finish(status)"
+            )
+        if target not in _ALLOWED[self._state]:
+            raise LifecycleError(
+                f"illegal run transition {self._state.value} -> "
+                f"{target.value}"
+            )
+        self._state = target
+        return self._state
+
+    def finish(self, status: str) -> RunState:
+        """Record the run's single terminal status and enter TERMINAL."""
+        if status not in TERMINAL_STATUSES:
+            raise LifecycleError(
+                f"terminal status must be one of {TERMINAL_STATUSES}, "
+                f"got {status!r}"
+            )
+        if self._state is RunState.TERMINAL:
+            raise LifecycleError(
+                f"run already terminal ({self._status}); a second "
+                "terminal transition is a scheduler bug"
+            )
+        if RunState.TERMINAL not in _ALLOWED[self._state]:
+            raise LifecycleError(
+                f"illegal run transition {self._state.value} -> terminal"
+            )
+        self._state = RunState.TERMINAL
+        self._status = status
+        return self._state

@@ -1,0 +1,191 @@
+"""Wire protocol for the exploration service.
+
+Three things live here, all plain data:
+
+* :class:`SweepPlan` — the immutable compilation of a submitted sweep
+  spec: the expanded job list and the content-addressed fingerprint of
+  every job, computed **once at admission** (reusing
+  :func:`repro.explore.spec.expand` and the graph fingerprinting the
+  one-shot path uses), so scheduling, deduplication, and resumption all
+  work off frozen identities that can never drift mid-run;
+* run-level events — :class:`RunAccepted`, :class:`RunStateChanged`,
+  :class:`RunFinished` — which subclass
+  :class:`~repro.explore.events.SweepEvent` so they share the job
+  events' registry, schema version, and ``as_dict``/``from_dict``
+  round-trip.  A run's event stream is therefore one homogeneous,
+  decodable NDJSON sequence, terminated by exactly one
+  :class:`RunFinished`;
+* the envelope helpers — every event travels as its ``as_dict`` payload
+  plus a per-run monotonically increasing ``seq`` (the resume cursor
+  for ``?since=``) and the ``run`` id.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..errors import BlockParallelError
+from ..explore.events import SweepEvent
+from ..explore.spec import Job, SweepSpec
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ServeError",
+    "SweepPlan",
+    "RunEvent",
+    "RunAccepted",
+    "RunStateChanged",
+    "RunFinished",
+    "encode_event",
+    "decode_event",
+]
+
+PROTOCOL_VERSION = 1
+
+
+class ServeError(BlockParallelError):
+    """A client-visible service error (bad spec, unknown run, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# The immutable plan
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """One submission, compiled to frozen jobs and identities."""
+
+    run_id: str
+    name: str
+    tenant: str
+    priority: int
+    #: Wall-clock admission time (seconds since the epoch).
+    created: float
+    #: Canonical JSON of the submitted spec (identity + audit trail).
+    spec_json: str
+    jobs: tuple[Job, ...]
+    fingerprints: tuple[str, ...]
+
+    @classmethod
+    def compile(cls, spec_data: Mapping[str, Any], *, run_id: str,
+                tenant: str = "", priority: int = 0,
+                created: float = 0.0) -> "SweepPlan":
+        """Expand and fingerprint a submitted spec into a frozen plan.
+
+        Raises :class:`~repro.explore.spec.ExploreError` on a malformed
+        spec — admission is where submissions fail, never mid-run.
+        """
+        spec = SweepSpec.from_dict(spec_data)
+        jobs = tuple(spec.jobs())
+        fingerprints = tuple(job.fingerprint for job in jobs)
+        return cls(
+            run_id=run_id,
+            name=spec.name,
+            tenant=tenant,
+            priority=int(priority),
+            created=created,
+            spec_json=json.dumps(spec_data, sort_keys=True,
+                                 separators=(",", ":"), default=str),
+            jobs=jobs,
+            fingerprints=fingerprints,
+        )
+
+    @property
+    def total(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def spec_digest(self) -> str:
+        """sha256 of the canonical spec — equal specs, equal digests."""
+        return hashlib.sha256(self.spec_json.encode("utf-8")).hexdigest()
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "run": self.run_id,
+            "name": self.name,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "created": self.created,
+            "total": self.total,
+            "spec_digest": self.spec_digest,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Run-level events (share the SweepEvent registry and round-trip)
+
+
+@dataclass(frozen=True, slots=True)
+class RunEvent(SweepEvent):
+    """Base for run-level events; ``label`` carries the sweep name."""
+
+    run_id: str
+
+    def describe(self) -> str:
+        return f"run {self.run_id} [{self.label}]"
+
+
+@dataclass(frozen=True, slots=True)
+class RunAccepted(RunEvent):
+    """The service admitted the submission and compiled its plan."""
+
+    total: int
+    priority: int
+    tenant: str
+
+    def describe(self) -> str:
+        who = f" for {self.tenant!r}" if self.tenant else ""
+        return (f"run {self.run_id}: accepted {self.label!r}{who} — "
+                f"{self.total} job(s) at priority {self.priority}")
+
+
+@dataclass(frozen=True, slots=True)
+class RunStateChanged(RunEvent):
+    """The run entered a new non-terminal lifecycle state."""
+
+    state: str
+
+    def describe(self) -> str:
+        return f"run {self.run_id}: {self.state}"
+
+
+@dataclass(frozen=True, slots=True)
+class RunFinished(RunEvent):
+    """The run's single terminal event, whatever the path to it."""
+
+    status: str  # "succeeded" | "failed" | "cancelled"
+    total: int
+    succeeded: int
+    failed: int
+    cancelled: int
+    cache_hits: int
+    elapsed_s: float
+
+    def describe(self) -> str:
+        return (f"run {self.run_id}: {self.status} — "
+                f"{self.succeeded}/{self.total} ok, {self.failed} failed, "
+                f"{self.cancelled} cancelled, {self.cache_hits} from cache "
+                f"({self.elapsed_s:.2f}s)")
+
+
+# ---------------------------------------------------------------------------
+# Envelopes
+
+
+def encode_event(event: SweepEvent, *, seq: int, run_id: str) -> dict:
+    """The NDJSON wire form: event payload + stream position."""
+    return {"seq": seq, "run": run_id, **event.as_dict()}
+
+
+def decode_event(envelope: Mapping[str, Any]) -> SweepEvent:
+    """Rebuild the typed event inside a wire envelope.
+
+    Both job-level and run-level types decode through the shared
+    registry; the envelope keys (``seq``, ``run``) are ignored by
+    ``from_dict`` so the same payload round-trips bare or enveloped.
+    """
+    return SweepEvent.from_dict(envelope)

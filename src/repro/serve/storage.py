@@ -1,0 +1,103 @@
+"""On-disk layout of a service data directory.
+
+::
+
+    <data_dir>/
+      cache/               # sharded content-addressed result cache,
+                           #   shared by every tenant and every restart
+      results.jsonl        # append-only JSONL store of terminal records
+      runs.jsonl           # run registry: one line per admission and
+                           #   one per terminal status (restart history)
+      events/<run>.ndjson  # full event stream of each run, replayable
+
+The cache and store are the *same* classes the one-shot ``repro
+explore`` path uses — which is the whole resumability story: a service
+restart loses only in-memory state, and resubmitting a spec finds every
+completed job's fingerprint already cached and executes just the
+remainder.  Nothing here is service-private magic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from ..explore.cache import ResultCache
+from ..explore.store import ResultStore
+
+__all__ = ["ServiceStorage"]
+
+
+class ServiceStorage:
+    """All durable state of one service instance."""
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.cache = ResultCache(self.root / "cache")
+        self.store = ResultStore(self.root / "results.jsonl")
+        self.runs_path = self.root / "runs.jsonl"
+        self.events_dir = self.root / "events"
+        self.events_dir.mkdir(exist_ok=True)
+
+    # -- per-run event logs --------------------------------------------
+
+    def event_log_path(self, run_id: str) -> Path:
+        return self.events_dir / f"{run_id}.ndjson"
+
+    def append_event(self, run_id: str, envelope: dict[str, Any]) -> None:
+        with open(self.event_log_path(run_id), "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(envelope, default=str) + "\n")
+
+    def read_events(self, run_id: str) -> list[dict[str, Any]]:
+        path = self.event_log_path(run_id)
+        if not path.exists():
+            return []
+        out: list[dict[str, Any]] = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    out.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue  # torn final line from a killed service
+        return out
+
+    # -- the run registry ----------------------------------------------
+
+    def register(self, entry: dict[str, Any]) -> None:
+        """Append one registry line (admission or terminal status)."""
+        with open(self.runs_path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, default=str) + "\n")
+
+    def registry(self) -> list[dict[str, Any]]:
+        """Latest registry entry per run id, admission order preserved."""
+        if not self.runs_path.exists():
+            return []
+        latest: dict[str, dict[str, Any]] = {}
+        with open(self.runs_path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                run_id = entry.get("run")
+                if isinstance(run_id, str) and run_id:
+                    latest[run_id] = {**latest.get(run_id, {}), **entry}
+        return list(latest.values())
+
+    # -- maintenance ---------------------------------------------------
+
+    def compact(self) -> dict[str, int]:
+        """Bound long-lived state: drop superseded store records and
+        migrate any pre-sharding flat cache entries into their shards."""
+        stats = self.store.compact()
+        stats["cache_migrated"] = self.cache.migrate_flat_entries()
+        return stats
