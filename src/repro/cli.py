@@ -165,7 +165,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     result = simulate(
         compiled,
         SimulationOptions(frames=args.frames, faults=fault_spec,
-                          telemetry=telemetry_on, noc=noc),
+                          telemetry=telemetry_on, noc=noc,
+                          replay=args.replay),
     )
     sim_elapsed = time.perf_counter() - sim_started
     path_report = None
@@ -213,6 +214,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         if result.noc_stats is not None:
             payload["noc"] = result.noc_stats.as_dict(result.makespan_s)
             payload["makespan_s"] = result.makespan_s
+        if result.replay is not None:
+            payload["replay"] = result.replay.as_dict()
         if telemetry_on:
             payload["telemetry"] = {
                 "spans": result.telemetry.span_counts(),
@@ -231,6 +234,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             print(result.noc_stats.describe())
         print()
         print(result.utilization.describe())
+        if result.replay is not None:
+            print()
+            print(result.replay.describe())
         if args.perfetto:
             print(f"wrote Perfetto trace to {args.perfetto}")
         if args.spans:
@@ -610,6 +616,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="machine-readable output")
     p.add_argument("--bench", action="store_true",
                    help="print simulator timing (wall, events/s, peak heap)")
+    p.add_argument("--replay", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="detect the periodic steady state and replay whole "
+                        "periods as a quasi-static schedule (bit-identical "
+                        "results; see docs/performance.md)")
     p.add_argument("--faults", default=None, metavar="FILE",
                    help="inject a fault scenario (JSON FaultSpec file; "
                         "see docs/robustness.md)")

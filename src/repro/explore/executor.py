@@ -218,7 +218,8 @@ def execute_job(job: Job) -> dict[str, Any]:
     result = simulate(
         compiled,
         SimulationOptions(frames=job.frames, faults=fault_spec,
-                          telemetry=job.telemetry, noc=noc),
+                          telemetry=job.telemetry, noc=noc,
+                          replay=job.replay),
     )
     sim_elapsed = time.perf_counter() - sim_started
     output, chunks_per_frame, rate_hz = job.measurement()
@@ -263,6 +264,10 @@ def execute_job(job: Job) -> dict[str, Any]:
             "placement": job.placement or "row-major",
             **result.noc_stats.as_dict(result.makespan_s),
         }
+    if result.replay is not None:
+        # Execution-strategy accounting rides along so a replay axis
+        # reports its engagement next to the events/s it bought.
+        stats["replay"] = result.replay.as_dict()
     if result.telemetry is not None:
         from ..obs import analyze_critical_path
 

@@ -172,6 +172,9 @@ class Job:
     noc: tuple[tuple[str, Any], ...] = ()
     #: Placement strategy when ``noc`` is on ("" means row-major).
     placement: str = ""
+    #: Run the simulator's quasi-static replay engine (bit-identical
+    #: results by construction; sweeps use it purely for wall time).
+    replay: bool = False
     _fingerprint: str = field(default="", compare=False, repr=False)
 
     # -- construction helpers ------------------------------------------
@@ -203,6 +206,8 @@ class Job:
             bits.append(f"noc[{', '.join(noc_bits)}]")
             if self.placement:
                 bits.append(f"placement={self.placement}")
+        if self.replay:
+            bits.append("replay")
         return f"{self.app}({', '.join(bits)})" if bits else self.app
 
     def fault_spec(self) -> "FaultSpec | None":
@@ -275,6 +280,7 @@ class Job:
             "telemetry": self.telemetry,
             "noc": dict(self.noc) if self.noc else None,
             "placement": self.placement,
+            "replay": self.replay,
             "fingerprint": self.fingerprint,
         }
 
@@ -295,6 +301,7 @@ class Job:
             placement=_canonical_placement(
                 data.get("placement", ""), bool(data.get("noc"))
             ),
+            replay=bool(data.get("replay", False)),
             _fingerprint=data.get("fingerprint", ""),
         )
 
@@ -384,6 +391,12 @@ def compute_fingerprint(job: Job) -> str:
         payload["noc"] = dict(job.noc)
         if job.placement:
             payload["placement"] = job.placement
+    # Replay is observably identical by construction, but the result
+    # record differs (engagement stats, wall time), so replay-on jobs
+    # get their own cache identity.  Only when on: pre-replay
+    # fingerprints stay valid for the default-off configuration.
+    if job.replay:
+        payload["replay"] = True
     try:
         payload["graph"] = graph_fingerprint(job.build_app())
     except GraphError:
@@ -469,6 +482,7 @@ def _route(point: Mapping[str, Any], spec: SweepSpec) -> Job:
     telemetry = False
     noc: tuple[tuple[str, Any], ...] = ()
     placement_raw: Any = ""
+    replay = False
     fault_base: Mapping[str, Any] | None = None
     fault_seed: int | None = None
     for key, value in point.items():
@@ -480,6 +494,8 @@ def _route(point: Mapping[str, Any], spec: SweepSpec) -> Job:
             frames = int(value)
         elif key == "telemetry":
             telemetry = bool(value)
+        elif key == "replay":
+            replay = bool(value)
         elif key == "noc":
             noc = _canonical_noc(value)
         elif key == "placement":
@@ -518,6 +534,7 @@ def _route(point: Mapping[str, Any], spec: SweepSpec) -> Job:
         telemetry=telemetry,
         noc=noc,
         placement=_canonical_placement(placement_raw, bool(noc)),
+        replay=replay,
     )
 
 

@@ -30,6 +30,7 @@ from .spans import (
     StallSpan,
     TransferSpan,
     WaitSpan,
+    firing_pattern_digest,
     span_as_dict,
     spans_digest,
 )
@@ -59,5 +60,6 @@ __all__ = [
     "IdleSpan",
     "Span",
     "span_as_dict",
+    "firing_pattern_digest",
     "spans_digest",
 ]

@@ -1,13 +1,16 @@
 """Timing-accurate functional simulator and untimed golden executor.
 
-Two interchangeable event loops live here: the optimized hot path
-(:mod:`.simulator`) and the frozen seed implementation
-(:mod:`.reference`), which the conformance suite proves observably
-identical and the benchmark suite measures speedups against.
+Three interchangeable execution engines live here: the optimized hot
+path (:mod:`.simulator`), the quasi-static schedule replay engine
+(:mod:`.replay`, opt-in via ``SimulationOptions(replay=True)``), and the
+frozen seed implementation (:mod:`.reference`).  The conformance and
+differential suites prove all three observably identical; the benchmark
+suite measures speedups against the reference.
 """
 
 from .functional import FunctionalResult, run_functional
 from .reference import ReferenceSimulator, reference_simulate
+from .replay import ReplayStats
 from .runtime import Channel, RuntimeKernel, build_runtime
 from .simulator import (
     BudgetOverrun,
@@ -38,6 +41,7 @@ __all__ = [
     "simulate",
     "ReferenceSimulator",
     "reference_simulate",
+    "ReplayStats",
     "ProcessorStats",
     "RealTimeVerdict",
     "UtilizationSummary",

@@ -1,0 +1,1345 @@
+"""Quasi-static schedule replay: execute whole steady-state periods per step.
+
+The paper's applications are steady-state streaming graphs: after a
+warm-up prefix the firing pattern repeats every line/frame period.  The
+discrete-event loop in :mod:`.simulator` still pays one heap pop, one
+readiness scan, and one poll-dedup per event.  This module removes that
+cost for the periodic phase while staying **bit-identical** to the
+reference loop — the conformance and differential suites are the proof.
+
+How it works
+------------
+1. **Detect** (online, while interpreting): every event is recorded as a
+   small structural op — source batch, poll outcome, firing signature,
+   completion — in a bounded ring.  A sliding scan over the firing
+   records looks for three consecutive structurally-equal blocks; the
+   candidate period is then re-anchored to a time-advancing op (so a
+   period boundary never splits a same-timestamp event group) and the
+   two most recent complete periods are compared op-for-op.
+2. **Compile**: the verified period becomes a replayable static schedule
+   — precompiled firing order (frozen :class:`~.runtime.Firing` objects
+   where the dispatch plan caches them, head-token rebuilds otherwise),
+   precomputed read/run/write durations, per-source item demand and
+   token-pattern, and per-op expected cost/emission signatures.  The
+   period's ``(kernel, method)`` sequence is fingerprinted via
+   :func:`repro.obs.firing_pattern_digest`.
+3. **Replay**: whole periods execute without the heap.  Kernel bodies
+   still run for real (data correctness is never assumed), but event
+   times come from the recorded derivation chain (finish = poll time +
+   duration; source stamps from the same running-sum iterators), and
+   per-processor statistics accumulate with the same per-op float adds
+   in the same order, so every float is the one the event loop would
+   have produced.
+4. **Verify every op**: recorded time relations (same-timestamp vs
+   strictly-later) are re-checked, as are processor-busy predicates,
+   firing costs (cycles, elements read/written), and emission
+   port/token signatures.  Because firing *selection* in this codebase
+   is value-independent (selector FSMs and token-forward counters, never
+   pixel data), a fully verified op stream implies the heap would have
+   made identical choices.
+5. **Demote**: when a source prefetch does not match at a period
+   boundary (end of input, an end-of-frame token where the period
+   expects a line pattern), or any op's verification fails mid-period
+   (the detector locked onto a transient sub-period, e.g. a buffer row
+   interior whose costs shift at the line edge), the engine
+   reconstructs exact DES state — source cursors, unpopped polls at the
+   current timestamp (the dedup dict is maintained op-for-op precisely
+   so this is possible), in-flight completions in creation order,
+   parked-kernel queues — and hands back to the interpreter, keeping
+   the compiled plan armed for cheap re-locking.  Every op verifies its
+   premise before (or atomically with) its DES-exact mutation, so the
+   state at the first mismatch *is* the event loop's state.  Only a
+   structural surprise inside a kernel body (an exception mid-execute)
+   is a *hard divergence*: the entire simulation restarts with replay
+   disabled, so the last-resort safety net is the unmodified event
+   loop itself.
+
+Ineligible configurations (trace recording, active faults, telemetry,
+NoC timing, bounded channels) never engage the engine: they run the
+plain loop with :class:`ReplayStats` explaining why.  Replay accounting
+lives on :attr:`SimulationResult.replay` only — never in ``as_dict()`` —
+so replay-on and replay-off runs share one conformance surface.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..errors import SimulationError
+from ..faults import FaultStats
+from ..kernels.sources import ApplicationInput, ApplicationOutput, ConstantSource
+from ..obs.spans import firing_pattern_digest
+from ..tokens import ControlToken
+from .runtime import Firing, build_runtime
+from .simulator import (
+    _DELIVER,
+    _FINISH,
+    _POLL,
+    BudgetOverrun,
+    SimulationOptions,
+    SimulationResult,
+    _KernelState,
+    _ProcState,
+    _timed_source_items,
+    _Violation,
+)
+from .stats import UtilizationSummary
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .simulator import Simulator
+
+__all__ = ["ReplayStats", "run_with_replay"]
+
+
+# --- detector tuning ---------------------------------------------------
+#: Scan for a period every this many recorded firings.
+_SCAN_EVERY = 128
+#: Longest candidate period, in firing records.
+_MAX_PERIOD = 4096
+#: Structural-op ring bounds (trimmed back to keep amortized O(1)).
+_OPS_RING = 150_000
+_OPS_KEEP = 100_000
+#: Interpreted events without any replay payoff before the recorder
+#: shuts off for good.  Bounds the worst case — an application whose
+#: true period exceeds ``_MAX_PERIOD`` (e.g. parallel pipelines whose
+#: beat period is a whole frame) pays recording overhead only this long,
+#: then interprets at full speed.
+_GIVE_UP_EVENTS = 30_000
+
+# Recorded-op codes (first element of every raw op tuple; the second is
+# always the time relation to the previous event: 0 same, 1 later).
+_OP_SRC, _OP_FIN, _OP_RUN, _OP_EMPTY, _OP_PARK, _OP_EXEC, _OP_IO = range(7)
+
+
+class _HardDivergence(Exception):
+    """Mid-period mismatch: restart the whole run with replay disabled."""
+
+
+@dataclass(slots=True)
+class ReplayStats:
+    """Execution-strategy accounting for one replay-requested run.
+
+    Attached as :attr:`SimulationResult.replay`; deliberately excluded
+    from ``as_dict()`` (it describes *how* the schedule was computed,
+    not the schedule itself).
+    """
+
+    #: Whether the configuration allowed the engine at all.
+    eligible: bool = False
+    #: Whether at least one compiled period actually replayed.
+    engaged: bool = False
+    #: Why the engine stayed off / restarted (None when it ran clean).
+    reason: str | None = None
+    #: Times a period was compiled (re-detections after demotion count).
+    periods_compiled: int = 0
+    #: Whole periods executed by the replay executor.
+    periods_replayed: int = 0
+    #: Firings per compiled period (last compilation).
+    period_firings: int = 0
+    #: Events per compiled period (last compilation).
+    period_events: int = 0
+    #: ``repro.obs.firing_pattern_digest`` of the compiled period.
+    period_fingerprint: str | None = None
+    #: Events executed by the replay executor vs the event loop.
+    events_replayed: int = 0
+    events_interpreted: int = 0
+    #: Clean hand-backs to the interpreter, by cause.
+    demotions: dict[str, int] = field(default_factory=dict)
+    #: Hard divergences that restarted the run with replay disabled.
+    restarts: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "eligible": self.eligible,
+            "engaged": self.engaged,
+            "reason": self.reason,
+            "periods_compiled": self.periods_compiled,
+            "periods_replayed": self.periods_replayed,
+            "period_firings": self.period_firings,
+            "period_events": self.period_events,
+            "period_fingerprint": self.period_fingerprint,
+            "events_replayed": self.events_replayed,
+            "events_interpreted": self.events_interpreted,
+            "demotions": dict(sorted(self.demotions.items())),
+            "restarts": self.restarts,
+        }
+
+    def describe(self) -> str:
+        if not self.eligible:
+            return f"replay: ineligible ({self.reason}); interpreted run"
+        total = self.events_replayed + self.events_interpreted
+        share = self.events_replayed / total if total else 0.0
+        if not self.engaged:
+            return "replay: eligible but no period locked; interpreted run"
+        demoted = sum(self.demotions.values())
+        return (
+            f"replay: {self.periods_replayed} periods of "
+            f"{self.period_firings} firings replayed "
+            f"({share:.0%} of {total} events), "
+            f"{demoted} demotions, {self.restarts} restarts"
+        )
+
+
+def _ineligible_reason(opts: SimulationOptions) -> str | None:
+    """Why this configuration must run the plain event loop, or None.
+
+    These are the demotion triggers the tentpole names: trace recording
+    observes per-event order directly, faults/telemetry/NoC hook the
+    loop through their own seams, and bounded channels make readiness
+    depend on backpressure wake-ups the replay plan does not model.
+    """
+    if opts.trace:
+        return "trace"
+    if opts.faults is not None and opts.faults.active():
+        return "faults"
+    if opts.telemetry is not None:
+        return "telemetry"
+    if opts.noc is not None:
+        return "noc"
+    if opts.channel_capacity is not None or opts.channel_capacity_overrides:
+        return "bounded-channels"
+    return None
+
+
+def run_with_replay(sim: "Simulator") -> SimulationResult:
+    """Entry point used by :meth:`Simulator.run` when ``options.replay``.
+
+    Ineligible configurations fall back to the plain loop; a hard
+    divergence restarts the whole simulation with replay disabled, so
+    the returned result is always exactly what the event loop produces.
+    """
+    opts = sim.options
+    reason = _ineligible_reason(opts)
+    if reason is not None:
+        result = sim._run_des()
+        result.replay = ReplayStats(
+            eligible=False,
+            reason=reason,
+            events_interpreted=result.events_processed,
+        )
+        return result
+    engine = _ReplayEngine(sim.graph, sim.mapping, sim.processor, opts)
+    try:
+        return engine.run()
+    except _HardDivergence as exc:
+        stats = engine.stats
+        stats.restarts += 1
+        stats.reason = f"hard divergence: {exc}"
+        stats.events_replayed = 0
+        result = sim._run_des()
+        stats.events_interpreted = result.events_processed
+        result.replay = stats
+        return result
+
+
+# ----------------------------------------------------------------------
+class _Source:
+    """One application input (or constant source) with pushback buffering.
+
+    ``head`` is the next undelivered ``(time, item)`` pair — exactly the
+    event loop's lazy cursor — while ``buf``/``pos`` hold a prefetched
+    period during replay and ``pending`` restores unconsumed prefetch on
+    demotion.
+    """
+
+    __slots__ = ("idx", "st", "it", "head", "pending", "buf", "pos")
+
+    def __init__(self, idx: int, st: "_RKernelState", it) -> None:
+        self.idx = idx
+        self.st = st
+        self.it = it
+        self.head: tuple | None = None
+        self.pending: list = []
+        self.buf: list | tuple = ()
+        self.pos = 0
+
+    def next_item(self):
+        p = self.pending
+        if p:
+            return p.pop(0)
+        return next(self.it, None)
+
+
+class _RKernelState(_KernelState):
+    """Kernel state plus the replay executor's in-flight completion slot.
+
+    One firing is in flight per kernel at most (``st.running`` gates the
+    next), so a pair of attributes replaces the event heap's pending
+    ``_FINISH`` entry during replay.
+    """
+
+    __slots__ = ("finish_time", "finish_result")
+
+    def __init__(self, rk, proc) -> None:
+        super().__init__(rk, proc)
+        self.finish_time: float | None = None
+        self.finish_result = None
+
+
+def _firing_key(firing: Firing):
+    """Structural identity of a firing, stable across periods.
+
+    Method firings reuse the dispatch plan's frozen ``Firing`` objects,
+    so the object itself is the key.  Token/forward firings are rebuilt
+    per event with the live token, so the key keeps the token *type*
+    (frame numbers differ every period) plus the port whose head token
+    the replayed firing must pick up.
+    """
+    if firing.kind == "method":
+        return firing
+    return (
+        "tok",
+        firing.kind,
+        firing.method,
+        firing.consume_ports,
+        type(firing.token),
+        firing.consume_ports[0],
+    )
+
+
+def _emit_sig(emissions) -> tuple:
+    """Flat (port, is_token, port, is_token, ...) emission signature."""
+    sig: list = []
+    ap = sig.append
+    for port, item in emissions:
+        ap(port)
+        ap(isinstance(item, ControlToken))
+    return tuple(sig)
+
+
+def _fkey_label(fkey) -> str:
+    method = fkey.method if type(fkey) is Firing else fkey[2]
+    return method.name if method is not None else "<forward>"
+
+
+# ----------------------------------------------------------------------
+class _ReplayEngine:
+    """The forked pure-path event loop with detect/compile/replay modes.
+
+    Only ever constructed for eligible configurations (no faults,
+    telemetry, NoC, trace, or bounded channels), so the interpreter here
+    is the seed-conformant pure path plus structural recording.
+    """
+
+    def __init__(self, graph, mapping, processor, options) -> None:
+        self.graph = graph
+        self.mapping = mapping
+        self.processor = processor
+        self.options = options
+        self.stats = ReplayStats(eligible=True)
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:  # noqa: C901 - forked event loop
+        runtimes, channels = build_runtime(self.graph)
+        opts = self.options
+        stats = self.stats
+
+        input_channels = {
+            id(ch)
+            for ch in channels
+            if isinstance(runtimes[ch.src].kernel, ApplicationInput)
+        }
+
+        proc_states: dict[int, _ProcState] = {}
+        states: dict[str, _RKernelState] = {}
+        for name, rk in runtimes.items():
+            proc = self.mapping.processor_of(name)
+            pstate = None
+            if proc is not None:
+                pstate = proc_states.get(proc)
+                if pstate is None:
+                    pstate = proc_states[proc] = _ProcState(proc)
+                pstate.kernels.add(name)
+            states[name] = _RKernelState(rk, pstate)
+        for name, rk in runtimes.items():
+            st = states[name]
+            out: dict[str, tuple] = {}
+            flat: list = []
+            for port, chans in rk.outputs.items():
+                out[port] = tuple(
+                    (ch, states[ch.dst], id(ch) in input_channels)
+                    for ch in chans
+                )
+                flat.extend(chans)
+            st.out = out
+            st.out_channels = tuple(flat)
+
+        violations: list[_Violation] = []
+        budget_overruns: list[BudgetOverrun] = []
+
+        events: list = []
+        seq = itertools.count()
+        next_seq = seq.__next__
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        peak_heap = 0
+        queued_polls: dict[_RKernelState, float] = {}
+        input_cap = opts.input_channel_capacity
+
+        def deliver(time: float, st_src: _RKernelState, port: str, item) -> None:
+            # Byte-for-byte the pure-path deliver of the event loop (the
+            # fault/telemetry/NoC variants cannot occur here).
+            nonlocal peak_heap
+            is_token = isinstance(item, ControlToken)
+            for ch, dst, checked in st_src.out.get(port, ()):
+                items = ch.items
+                items.append(item)
+                counter = ch.seq
+                counter.value = stamp = counter.value + 1
+                ch.seqs.append(stamp)
+                if is_token:
+                    ch.total_tokens += 1
+                else:
+                    ch.total_data += 1
+                occupancy = len(items)
+                if occupancy > ch.max_occupancy:
+                    ch.max_occupancy = occupancy
+                if checked and occupancy > input_cap:
+                    violations.append(
+                        _Violation(
+                            time=time,
+                            where=f"{ch.src}->{ch.dst}.{ch.dst_port}",
+                            detail="input overran its consumer",
+                        )
+                    )
+                if queued_polls.get(dst) != time:
+                    queued_polls[dst] = time
+                    heappush(events, (time, _POLL, next_seq(), dst))
+                    if len(events) > peak_heap:
+                        peak_heap = len(events)
+
+        def rdeliver(time: float, st_src: _RKernelState, port: str, item) -> None:
+            # Replay-mode deliver: identical channel accounting, no heap
+            # push — polls are ops of the compiled period.  The dedup
+            # dict is still maintained exactly (set here, popped at each
+            # poll op) so a mid-period demotion can requeue precisely
+            # the polls the event loop would still have pending.
+            is_token = isinstance(item, ControlToken)
+            for ch, dst, checked in st_src.out.get(port, ()):
+                items = ch.items
+                items.append(item)
+                counter = ch.seq
+                counter.value = stamp = counter.value + 1
+                ch.seqs.append(stamp)
+                if is_token:
+                    ch.total_tokens += 1
+                else:
+                    ch.total_data += 1
+                occupancy = len(items)
+                if occupancy > ch.max_occupancy:
+                    ch.max_occupancy = occupancy
+                if checked and occupancy > input_cap:
+                    violations.append(
+                        _Violation(
+                            time=time,
+                            where=f"{ch.src}->{ch.dst}.{ch.dst_port}",
+                            detail="input overran its consumer",
+                        )
+                    )
+                if queued_polls.get(dst) != time:
+                    queued_polls[dst] = time
+
+        # --- startup: init methods, then lazy source cursors ------------
+        for name, rk in runtimes.items():
+            for result in rk.run_init():
+                st = states[name]
+                for port, item in result.emissions:
+                    deliver(0.0, st, port, item)
+
+        horizon = 0.0
+        sources: list[_Source] = []
+        for name, rk in runtimes.items():
+            if isinstance(rk.kernel, ConstantSource):
+                sources.append(_Source(
+                    len(sources), states[name],
+                    iter(((0.0, rk.kernel.values.copy()),)),
+                ))
+        for name, rk in runtimes.items():
+            kernel = rk.kernel
+            if isinstance(kernel, ApplicationInput):
+                sources.append(_Source(
+                    len(sources), states[name],
+                    _timed_source_items(kernel, opts.frames),
+                ))
+                horizon = max(horizon, opts.frames / kernel.rate_hz)
+        for src in sources:
+            src.head = src.next_item()
+            if src.head is not None:
+                heappush(events, (src.head[0], _DELIVER, src.idx, src.idx))
+        if len(events) > peak_heap:
+            peak_heap = len(events)
+
+        makespan = 0.0
+        processed = 0
+        max_events = opts.max_events
+        clock = self.processor.clock_hz
+        rcpe = self.processor.read_cycles_per_element
+        wcpe = self.processor.write_cycles_per_element
+
+        # --- detector / plan state --------------------------------------
+        ops: list = []          # structural op ring (raw tuples)
+        base = 0                # absolute index of ops[0]
+        fir: list = []          # firing records (st, signature)
+        fir_op: list = []       # absolute op index of each firing record
+        next_scan = _SCAN_EVERY
+        raw_plan: list = []     # compiled period, raw-op form
+        xplan: list = []        # compiled period, execution form
+        xev: list = []          # cumulative event count through xplan[i]
+        src_plan: tuple = ()    # ((source, items-needed, token-pattern), ...)
+        plan_len = 0
+        plan_fir_len = 0        # firing records per compiled period
+        period_events = 0
+        min_fir_L = 1           # alias-escalation floor for the detector
+        last_payoff = 0         # processed count at the last replayed period
+        plan_cyc_start = 0      # processed count when the plan compiled
+        plan_cyc_replayed = 0   # events_replayed when the plan compiled
+        detect_off = False      # escalated past _MAX_PERIOD: stop recording
+        armed = False           # verifying the live stream against raw_plan
+        phase = 0               # next raw_plan index while armed
+        seeking = False         # re-locking a kept plan after demotion
+        match_pos = 0
+        enter_next = False      # the next heap pop starts a period
+        inflight: dict = {}     # replay-mode pending completions, in order
+
+        def resolve_fkey(fkey):
+            """(prebuilt Firing | None, rebuild descriptor | None)."""
+            if type(fkey) is Firing:
+                return fkey, None
+            _tag, kind, method, cports, ttype, tport = fkey
+            return None, (kind, method, cports, ttype, tport)
+
+        def build_xplan(raw):
+            """Compile raw ops to the execution plan, or None if refused."""
+            plan: list = []
+            cum: list = []  # cumulative event count through each op
+            need: dict[int, int] = {}
+            kinds_acc: dict[int, list] = {}
+            ev_count = 0
+            firings = 0
+            pattern: list = []
+            for op in raw:
+                code = op[0]
+                rel = op[1]
+                if code == _OP_SRC:
+                    idx = op[2]
+                    need[idx] = need.get(idx, 0) + op[3]
+                    kinds_acc.setdefault(idx, []).extend(op[4])
+                    ev_count += op[3]
+                    plan.append((0, sources[idx], op[3], rel))
+                    cum.append(ev_count)
+                    continue
+                ev_count += 1
+                cum.append(ev_count)
+                if rel and code != _OP_FIN:
+                    # Polls pop at their queueing time; a time-advancing
+                    # poll means the window is not a real period.
+                    return None
+                st = op[2]
+                if code == _OP_FIN:
+                    plan.append((1, st, rel))
+                elif code == _OP_RUN:
+                    plan.append((2, st))
+                elif code == _OP_EMPTY:
+                    plan.append((3, st))
+                elif code == _OP_PARK:
+                    plan.append((4, st, st.proc))
+                elif code == _OP_EXEC:
+                    if op[7]:
+                        # Data-dependent cycle charge observed while
+                        # learning: the period is not static.
+                        return None
+                    firing, rebuild = resolve_fkey(op[3])
+                    cycles, eread, ewrit, esig = op[4], op[5], op[6], op[8]
+                    read_s = eread * rcpe / clock
+                    run_s = cycles / clock
+                    write_s = ewrit * wcpe / clock
+                    duration = read_s + run_s + write_s
+                    plan.append((
+                        5, st, st.proc, firing, rebuild, read_s, run_s,
+                        write_s, duration, cycles, eread, ewrit, esig,
+                        len(esig) // 2,
+                    ))
+                    firings += 1
+                    pattern.append((st.name, _fkey_label(op[3])))
+                else:  # _OP_IO
+                    entries = []
+                    for fkey, esig, nout in op[3]:
+                        firing, rebuild = resolve_fkey(fkey)
+                        entries.append(
+                            (firing, rebuild, esig, len(esig) // 2, nout)
+                        )
+                        pattern.append((st.name, _fkey_label(fkey)))
+                        firings += 1
+                    plan.append((6, st, tuple(entries)))
+            splan = tuple(
+                (sources[idx], n, tuple(kinds_acc[idx]))
+                for idx, n in need.items()
+            )
+            return (plan, cum, splan, ev_count, firings,
+                    firing_pattern_digest(pattern))
+
+        def compile_plan(n: int, L: int) -> bool:
+            nonlocal raw_plan, xplan, xev, src_plan, plan_len, period_events
+            nonlocal armed, phase, seeking, match_pos, plan_fir_len
+            nonlocal plan_cyc_start, plan_cyc_replayed
+            s0 = fir_op[n - 3 * L] - base
+            s1 = fir_op[n - 2 * L] - base
+            s2 = fir_op[n - L] - base
+            if s0 <= 0:
+                return False
+            # Re-anchor each block start to its time-group leader so the
+            # period boundary strictly advances time (then every poll
+            # queued inside period k also pops inside period k, and the
+            # demotion state is sources + in-flight completions only).
+            while s0 > 0 and ops[s0][1] == 0:
+                s0 -= 1
+            while ops[s1][1] == 0:
+                s1 -= 1
+            while ops[s2][1] == 0:
+                s2 -= 1
+            if ops[s0][1] != 1:
+                return False
+            P = s2 - s1
+            if P < 2 or s1 - s0 != P:
+                return False
+            if ops[s1:s2] != ops[s0:s1]:
+                return False
+            raw = ops[s1:s2]
+            first = raw[0]
+            if first[1] != 1 or first[0] not in (_OP_SRC, _OP_FIN):
+                return False
+            # The partially-recorded third period must match the plan's
+            # prefix — that is the arming phase we resume from.
+            tail = ops[s2:]
+            npre = len(tail)
+            if npre == 0 or npre >= P or raw[:npre] != tail:
+                return False
+            built = build_xplan(raw)
+            if built is None:
+                return False
+            xplan, xev, src_plan, period_events_, firings, digest = built
+            raw_plan = raw
+            plan_len = P
+            plan_fir_len = L
+            period_events = period_events_
+            plan_cyc_start = processed
+            plan_cyc_replayed = stats.events_replayed
+            armed = True
+            phase = npre
+            seeking = False
+            match_pos = 0
+            stats.periods_compiled += 1
+            stats.period_events = period_events_
+            stats.period_firings = firings
+            stats.period_fingerprint = digest
+            return True
+
+        def try_detect() -> None:
+            n = len(fir)
+            if n < 6:
+                return
+            f = fir
+            last = f[-1]
+            max_l = min(_MAX_PERIOD, n // 3)
+            for L in range(min_fir_L, max_l + 1):
+                if f[n - 1 - L] != last or f[n - 1 - 2 * L] != last:
+                    continue
+                if f[n - 3 * L:n - 2 * L] == f[n - 2 * L:n - L] == f[n - L:n]:
+                    if compile_plan(n, L):
+                        return
+
+        def record(op) -> None:
+            nonlocal armed, phase, seeking, match_pos, enter_next
+            nonlocal next_scan, base, detect_off
+            if detect_off:
+                return
+            ops.append(op)
+            code = op[0]
+            if armed:
+                if op == raw_plan[phase]:
+                    phase += 1
+                    if phase == plan_len:
+                        phase = 0
+                        enter_next = True
+                else:
+                    armed = False
+                    seeking = True
+                    match_pos = 0
+            elif seeking:
+                if op == raw_plan[match_pos]:
+                    match_pos += 1
+                    if match_pos == plan_len:
+                        # A full period re-matched: the next pop is a
+                        # boundary, enter without re-recording 3 blocks.
+                        match_pos = 0
+                        enter_next = True
+                elif match_pos and op == raw_plan[0]:
+                    match_pos = 1
+                else:
+                    match_pos = 0
+            if code == _OP_EXEC or code == _OP_IO:
+                fir.append((op[2], op[3]))
+                fir_op.append(base + len(ops) - 1)
+                if not armed and len(fir) >= next_scan:
+                    next_scan = len(fir) + _SCAN_EVERY
+                    if processed - last_payoff > _GIVE_UP_EVENTS:
+                        # No replay payoff for a long stretch: the true
+                        # period (if any) is out of the detector's reach.
+                        # Stop recording so interpretation runs clean.
+                        detect_off = True
+                        armed = seeking = False
+                        ops.clear()
+                        fir.clear()
+                        fir_op.clear()
+                        return
+                    try_detect()
+            if len(ops) > _OPS_RING:
+                drop = len(ops) - _OPS_KEEP
+                del ops[:drop]
+                base += drop
+                k = 0
+                fo = fir_op
+                nf = len(fo)
+                while k < nf and fo[k] < base:
+                    k += 1
+                if k:
+                    del fir[:k]
+                    del fir_op[:k]
+
+        def reset_rings() -> None:
+            nonlocal base, next_scan
+            base += len(ops)
+            ops.clear()
+            fir.clear()
+            fir_op.clear()
+            next_scan = _SCAN_EVERY
+
+        def rebuild_firing(st: _RKernelState, rebuild) -> Firing | None:
+            """Recreate a token/forward firing from the live channel head.
+
+            Returns None when the live head does not match the plan's
+            expectation — nothing is mutated, so the caller can demote
+            cleanly instead of restarting.
+            """
+            kind, method, cports, ttype, tport = rebuild
+            items = st.rk.inputs[tport].items
+            if not items or type(items[0]) is not ttype:
+                return None
+            if kind == "forward":
+                for p in cports:
+                    h = st.rk.inputs[p].items
+                    if not h or not isinstance(h[0], ControlToken):
+                        return None
+            return Firing(
+                kind=kind, method=method, consume_ports=cports, token=items[0]
+            )
+
+        def try_enter(time: float, kind: int, payload) -> bool:
+            """Reconcile heap state and hand the popped event to replay."""
+            p0 = xplan[0]
+            c0 = p0[0]
+            if kind == _DELIVER:
+                if c0 != 0 or p0[1] is not sources[payload]:
+                    return False
+            elif kind == _FINISH:
+                if c0 != 1 or p0[1] is not payload[0] or payload[1] is None:
+                    return False
+            else:
+                return False
+            for ev in events:
+                k = ev[1]
+                if k == _POLL:
+                    # A queued poll at entry means the boundary does not
+                    # actually advance time; refuse and keep interpreting.
+                    return False
+                if k == _FINISH and ev[3][1] is None:
+                    return False
+            fins = sorted(
+                (ev for ev in events if ev[1] == _FINISH),
+                key=lambda ev: ev[2],
+            )
+            inflight.clear()
+            for t, _k, _s, (fst, fres) in fins:
+                fst.finish_time = t
+                fst.finish_result = fres
+                inflight[fst] = None
+            events.clear()
+            queued_polls.clear()
+            if kind == _FINISH:
+                st0, res0 = payload
+                st0.finish_time = time
+                st0.finish_result = res0
+                inflight[st0] = None
+            return True
+
+        def demote(reason: str) -> None:
+            """Reconstruct exact DES state and hand back to the interpreter.
+
+            Valid at a period boundary *and* mid-period: every replay op
+            verifies its premise before (or atomically with) its
+            DES-exact mutation, so at the first mismatch the simulation
+            state equals the event loop's state mid-timestamp.  The heap
+            is rebuilt from the three kinds of pending work — unpopped
+            polls at the current timestamp (the dedup dict, in queueing
+            order), in-flight completions (in creation order), and
+            source cursors — with fresh sequence numbers; within-kind
+            order is what the heap tie-breaking actually consumes, and
+            the event-kind ordering handles the rest.
+            """
+            nonlocal seeking, match_pos, armed, enter_next, min_fir_L
+            nonlocal detect_off
+            stats.demotions[reason] = stats.demotions.get(reason, 0) + 1
+            for src in sources:
+                if src.pos < len(src.buf):
+                    rest = list(src.buf[src.pos:])
+                    if src.head is not None:
+                        rest.append(src.head)
+                    rest.extend(src.pending)
+                    src.head = rest[0]
+                    src.pending = rest[1:]
+                src.buf = ()
+                src.pos = 0
+                if src.head is not None:
+                    heappush(events, (src.head[0], _DELIVER, src.idx, src.idx))
+            for st, t_q in queued_polls.items():
+                heappush(events, (t_q, _POLL, next_seq(), st))
+            for st in inflight:
+                heappush(
+                    events,
+                    (st.finish_time, _FINISH, next_seq(),
+                     (st, st.finish_result)),
+                )
+                st.finish_time = None
+                st.finish_result = None
+            inflight.clear()
+            reset_rings()
+            armed = False
+            enter_next = False
+            # Keep or escalate?  The arbiter is *productivity*, not the
+            # demotion reason: a line-level plan that demotes once per
+            # frame at a trim border replays nearly everything and must
+            # be kept, while a row-interior alias that re-locks cheaply
+            # but replays little should be traded for a coarser period.
+            # Judge the plan on its replay duty-cycle since it compiled,
+            # once it has had a fair chance (a few periods of wall-clock).
+            lifetime = processed - plan_cyc_start
+            duty = (stats.events_replayed - plan_cyc_replayed) / max(
+                1, lifetime
+            )
+            if lifetime >= 4 * period_events and duty < 0.35:
+                # Low-value plan: drop it and require the next candidate
+                # period to be at least twice as coarse, so repeated
+                # failures climb to the true period in O(log) locks.
+                seeking = False
+                if plan_fir_len:
+                    min_fir_L = max(min_fir_L, 2 * plan_fir_len)
+                if min_fir_L > _MAX_PERIOD:
+                    # Nothing coarser can lock; stop paying for the
+                    # recorder and interpret at full speed from here on.
+                    detect_off = True
+            else:
+                # Productive plan: keep it armed for cheap re-locking.
+                seeking = True
+            match_pos = 0
+
+        # --- main loop ---------------------------------------------------
+        while events:
+            time, kind, _, payload = heappop(events)
+
+            if enter_next:
+                enter_next = False
+                if time > makespan and try_enter(time, kind, payload):
+                    # ---- replay mode: whole periods per iteration ----
+                    stats.engaged = True
+                    reset_rings()
+                    armed = False
+                    seeking = False
+                    now = makespan
+                    reason = None
+                    partial = 0  # events of an incomplete final period
+                    while reason is None:
+                        # Period boundary: prefetch each source's demand
+                        # and check its token pattern.  A mismatch (end
+                        # of input, end-of-frame) demotes cleanly before
+                        # anything is mutated.
+                        for src, need_n, kpat in src_plan:
+                            buf = []
+                            head = src.head
+                            i = 0
+                            while i < need_n:
+                                if head is None or isinstance(
+                                    head[1], ControlToken
+                                ) is not kpat[i]:
+                                    reason = "input-pattern"
+                                    break
+                                buf.append(head)
+                                head = src.next_item()
+                                i += 1
+                            src.buf = buf
+                            src.pos = 0
+                            src.head = head
+                            if reason is not None:
+                                break
+                        if reason is not None:
+                            break
+                        try:
+                            for oi, op in enumerate(xplan):
+                                code = op[0]
+                                if code == 5:  # EXEC on a processing element
+                                    st = op[1]
+                                    ps = op[2]
+                                    queued_polls.pop(st, None)
+                                    if st.running or ps.free_at > now:
+                                        reason = "order"
+                                        partial = xev[oi - 1] if oi else 0
+                                        break
+                                    firing = op[3]
+                                    if firing is None:
+                                        firing = rebuild_firing(st, op[4])
+                                        if firing is None:
+                                            reason = "rebuild"
+                                            partial = (xev[oi - 1]
+                                                       if oi else 0)
+                                            break
+                                    result = st.execute(firing)
+                                    ems = result.emissions
+                                    esig = op[12]
+                                    good = (not result.dynamic
+                                            and result.cycles == op[9]
+                                            and result.elements_read == op[10]
+                                            and result.elements_written
+                                            == op[11]
+                                            and len(ems) == op[13])
+                                    if good:
+                                        i = 0
+                                        for port, item in ems:
+                                            if port != esig[i] or isinstance(
+                                                item, ControlToken
+                                            ) is not esig[i + 1]:
+                                                good = False
+                                                break
+                                            i += 2
+                                    if good:
+                                        ps.read_s += op[5]
+                                        ps.run_s += op[6]
+                                        ps.write_s += op[7]
+                                        ps.firings += 1
+                                        ps.free_at = ft = now + op[8]
+                                    else:
+                                        # The firing itself is what the
+                                        # event loop would have run
+                                        # (selection is state-determined
+                                        # and the history verified); only
+                                        # its cost or emissions drifted
+                                        # from the plan.  Charge the
+                                        # actual values with the event
+                                        # loop's exact expressions, then
+                                        # demote after this op.
+                                        if (result.dynamic and result.cycles
+                                                > result.declared_cycles):
+                                            budget_overruns.append(
+                                                BudgetOverrun(
+                                                    time=now,
+                                                    kernel=st.name,
+                                                    method=result.label,
+                                                    declared_cycles=(
+                                                        result
+                                                        .declared_cycles),
+                                                    actual_cycles=(
+                                                        result.cycles),
+                                                ))
+                                        read_s = (result.elements_read
+                                                  * rcpe / clock)
+                                        run_s = result.cycles / clock
+                                        write_s = (result.elements_written
+                                                   * wcpe / clock)
+                                        dur = read_s + run_s + write_s
+                                        ps.read_s += read_s
+                                        ps.run_s += run_s
+                                        ps.write_s += write_s
+                                        ps.firings += 1
+                                        ps.free_at = ft = now + dur
+                                    st.running = True
+                                    st.finish_time = ft
+                                    st.finish_result = result
+                                    inflight[st] = None
+                                    if not good:
+                                        reason = "cost"
+                                        partial = xev[oi]
+                                        break
+                                elif code == 1:  # FINISH
+                                    st = op[1]
+                                    t = st.finish_time
+                                    if t is None or (
+                                        (t <= now) if op[2] else (t != now)
+                                    ):
+                                        reason = "order"
+                                        partial = xev[oi - 1] if oi else 0
+                                        break
+                                    now = t
+                                    st.running = False
+                                    result = st.finish_result
+                                    st.finish_time = None
+                                    st.finish_result = None
+                                    del inflight[st]
+                                    for port, item in result.emissions:
+                                        rdeliver(t, st, port, item)
+                                    # Mirror the event loop's re-poll of
+                                    # everything sharing the freed
+                                    # element: the polls themselves are
+                                    # plan ops, but the dedup dict must
+                                    # carry them for mid-period demotion.
+                                    pending = st.proc.pending
+                                    pending.append(st)
+                                    for other in pending:
+                                        if queued_polls.get(other) != t:
+                                            queued_polls[other] = t
+                                    pending.clear()
+                                elif code == 0:  # source batch
+                                    src = op[1]
+                                    buf = src.buf
+                                    pos = src.pos
+                                    t = buf[pos][0]
+                                    if (t <= now) if op[3] else (t != now):
+                                        reason = "order"
+                                        partial = xev[oi - 1] if oi else 0
+                                        break
+                                    now = t
+                                    st_src = src.st
+                                    end = pos + op[2]
+                                    n = 0
+                                    split = False
+                                    while pos < end:
+                                        tt, item = buf[pos]
+                                        if tt != t:
+                                            # Batch ends earlier than the
+                                            # plan recorded.
+                                            split = True
+                                            break
+                                        pos += 1
+                                        n += 1
+                                        rdeliver(t, st_src, "out", item)
+                                    if not split:
+                                        # The recorded batch must also
+                                        # *end* here: the event loop
+                                        # drains every same-timestamp
+                                        # item in one event.
+                                        if pos < len(buf):
+                                            split = buf[pos][0] <= t
+                                        else:
+                                            h = src.head
+                                            split = (h is not None
+                                                     and h[0] <= t)
+                                        if split:
+                                            # Drain the rest live, then
+                                            # demote with the true count.
+                                            while True:
+                                                if pos < len(buf):
+                                                    tt, item = buf[pos]
+                                                    if tt != t:
+                                                        break
+                                                    pos += 1
+                                                else:
+                                                    h = src.head
+                                                    if h is None or h[0] != t:
+                                                        break
+                                                    item = h[1]
+                                                    src.head = src.next_item()
+                                                n += 1
+                                                rdeliver(t, st_src, "out",
+                                                         item)
+                                    src.pos = pos
+                                    if split:
+                                        reason = "order"
+                                        partial = ((xev[oi - 1] if oi else 0)
+                                                   + n)
+                                        break
+                                elif code == 4:  # busy park
+                                    st = op[1]
+                                    ps = op[2]
+                                    queued_polls.pop(st, None)
+                                    if st.running or ps.free_at <= now:
+                                        reason = "order"
+                                        partial = xev[oi - 1] if oi else 0
+                                        break
+                                    pending = ps.pending
+                                    if st not in pending:
+                                        pending.append(st)
+                                elif code == 2:  # running no-op poll
+                                    st = op[1]
+                                    queued_polls.pop(st, None)
+                                    if not st.running:
+                                        reason = "order"
+                                        partial = xev[oi - 1] if oi else 0
+                                        break
+                                elif code == 3:  # not-ready no-op poll
+                                    st = op[1]
+                                    queued_polls.pop(st, None)
+                                    if st.running or st.proc.free_at > now:
+                                        reason = "order"
+                                        partial = xev[oi - 1] if oi else 0
+                                        break
+                                else:  # code == 6: off-chip boundary burst
+                                    st = op[1]
+                                    queued_polls.pop(st, None)
+                                    good = not st.running
+                                    if good:
+                                        for (firing, rebuild, esig, nemit,
+                                             nout) in op[2]:
+                                            if firing is None:
+                                                firing = rebuild_firing(
+                                                    st, rebuild
+                                                )
+                                                if firing is None:
+                                                    good = False
+                                                    break
+                                            result = st.execute(firing)
+                                            ems = result.emissions
+                                            aout = 0
+                                            if (st.is_output
+                                                    and firing.kind
+                                                    == "method"):
+                                                times_out = st.output_times
+                                                for _p in (
+                                                        firing.consume_ports):
+                                                    times_out.append(now)
+                                                    aout += 1
+                                            for port, item in ems:
+                                                rdeliver(now, st, port, item)
+                                            if (len(ems) != nemit
+                                                    or aout != nout):
+                                                good = False
+                                                break
+                                            i = 0
+                                            for port, item in ems:
+                                                if (port != esig[i]
+                                                        or isinstance(
+                                                            item,
+                                                            ControlToken)
+                                                        is not esig[i + 1]):
+                                                    good = False
+                                                    break
+                                                i += 2
+                                            if not good:
+                                                break
+                                    if not good:
+                                        # Finish the drain exactly as the
+                                        # event loop would, then demote.
+                                        st_ready = st.ready
+                                        st_execute = st.execute
+                                        while not st.running:
+                                            firing = st_ready()
+                                            if firing is None:
+                                                break
+                                            result = st_execute(firing)
+                                            if (st.is_output
+                                                    and firing.kind
+                                                    == "method"):
+                                                times_out = st.output_times
+                                                for _p in (
+                                                        firing.consume_ports):
+                                                    times_out.append(now)
+                                            for port, item in (
+                                                    result.emissions):
+                                                rdeliver(now, st, port, item)
+                                        reason = "io"
+                                        partial = xev[oi]
+                                        break
+                        except _HardDivergence:
+                            raise
+                        except Exception as exc:
+                            # Any structural surprise (a kernel body
+                            # raising, a channel underflow) restarts the
+                            # run on the plain loop, which reproduces
+                            # the behavior — including the exception —
+                            # exactly.
+                            raise _HardDivergence(
+                                f"executor error: {exc!r}"
+                            ) from exc
+                        if reason is not None:
+                            # Partial period: account the events that
+                            # actually executed, then demote mid-stream.
+                            processed += partial
+                            stats.events_replayed += partial
+                            if partial:
+                                last_payoff = processed
+                            break
+                        processed += period_events
+                        stats.events_replayed += period_events
+                        stats.periods_replayed += 1
+                        last_payoff = processed
+                        if processed > max_events:
+                            raise SimulationError(
+                                f"simulation exceeded {max_events} events; "
+                                "the application is likely livelocked"
+                            )
+                    demote(reason)
+                    makespan = now
+                    continue
+
+            rel = 1 if time > makespan else 0
+            makespan = time
+
+            if kind == _POLL:
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        f"simulation exceeded {max_events} events; "
+                        "the application is likely livelocked"
+                    )
+                st = payload
+                queued_polls.pop(st, None)
+                if st.running:
+                    record((_OP_RUN, rel, st))
+                    continue
+                ps = st.proc
+                if ps is None:
+                    st_ready = st.ready
+                    st_execute = st.execute
+                    iosig: list = []
+                    while True:
+                        firing = st_ready()
+                        if firing is None:
+                            break
+                        result = st_execute(firing)
+                        nout = 0
+                        if st.is_output and firing.kind == "method":
+                            times_out = st.output_times
+                            for _port in firing.consume_ports:
+                                times_out.append(time)
+                                nout += 1
+                        ems = result.emissions
+                        for port, item in ems:
+                            deliver(time, st, port, item)
+                        iosig.append(
+                            (_firing_key(firing), _emit_sig(ems), nout)
+                        )
+                    record((_OP_IO, rel, st, tuple(iosig)))
+                else:
+                    if ps.free_at > time:
+                        pending = ps.pending
+                        if st not in pending:
+                            pending.append(st)
+                        record((_OP_PARK, rel, st))
+                        continue
+                    firing = st.ready()
+                    if firing is None:
+                        record((_OP_EMPTY, rel, st))
+                        continue
+                    result = st.execute(firing)
+                    if result.dynamic and result.cycles > result.declared_cycles:
+                        budget_overruns.append(BudgetOverrun(
+                            time=time, kernel=st.name, method=result.label,
+                            declared_cycles=result.declared_cycles,
+                            actual_cycles=result.cycles,
+                        ))
+                    read_s = result.elements_read * rcpe / clock
+                    run_s = result.cycles / clock
+                    write_s = result.elements_written * wcpe / clock
+                    duration = read_s + run_s + write_s
+                    ps.read_s += read_s
+                    ps.run_s += run_s
+                    ps.write_s += write_s
+                    ps.firings += 1
+                    ps.free_at = time + duration
+                    st.running = True
+                    heappush(events,
+                             (time + duration, _FINISH, next_seq(),
+                              (st, result)))
+                    if len(events) > peak_heap:
+                        peak_heap = len(events)
+                    record((_OP_EXEC, rel, st, _firing_key(firing),
+                            result.cycles, result.elements_read,
+                            result.elements_written, result.dynamic,
+                            _emit_sig(result.emissions)))
+
+            elif kind == _FINISH:
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        f"simulation exceeded {max_events} events; "
+                        "the application is likely livelocked"
+                    )
+                st, result = payload
+                st.running = False
+                if result is not None:
+                    for port, item in result.emissions:
+                        deliver(time, st, port, item)
+                ps = st.proc
+                if ps is not None:
+                    pending = ps.pending
+                    pending.append(st)
+                    for other in pending:
+                        if queued_polls.get(other) != time:
+                            queued_polls[other] = time
+                            heappush(events, (time, _POLL, next_seq(), other))
+                    pending.clear()
+                    if len(events) > peak_heap:
+                        peak_heap = len(events)
+                record((_OP_FIN, rel, st))
+
+            else:  # _DELIVER: one source cursor; drain its timestamp batch
+                idx = payload
+                src = sources[idx]
+                st = src.st
+                head = src.head
+                count = 0
+                kinds: list = []
+                ka = kinds.append
+                while head is not None and head[0] == time:
+                    processed += 1
+                    count += 1
+                    item = head[1]
+                    ka(isinstance(item, ControlToken))
+                    deliver(time, st, "out", item)
+                    head = src.next_item()
+                src.head = head
+                if head is not None:
+                    heappush(events, (head[0], _DELIVER, idx, idx))
+                    if len(events) > peak_heap:
+                        peak_heap = len(events)
+                record((_OP_SRC, rel, idx, count, tuple(kinds)))
+                if processed > max_events:
+                    raise SimulationError(
+                        f"simulation exceeded {max_events} events; "
+                        "the application is likely livelocked"
+                    )
+
+        duration = max(makespan, horizon)
+        utilization = UtilizationSummary(
+            duration_s=duration,
+            processors={
+                proc: ps.to_stats() for proc, ps in proc_states.items()
+            },
+        )
+        output_times = {
+            name: states[name].output_times
+            for name, rk in runtimes.items()
+            if isinstance(rk.kernel, ApplicationOutput)
+        }
+        outputs = {
+            name: list(rk.kernel.received)
+            for name, rk in runtimes.items()
+            if isinstance(rk.kernel, ApplicationOutput)
+        }
+        stats.events_interpreted = processed - stats.events_replayed
+        result = SimulationResult(
+            app=self.graph,
+            options=opts,
+            makespan_s=makespan,
+            utilization=utilization,
+            output_times=output_times,
+            outputs=outputs,
+            violations=violations,
+            channels=channels,
+            firings={name: rk.firings for name, rk in runtimes.items()},
+            budget_overruns=budget_overruns,
+            events_processed=processed,
+            peak_heap=peak_heap,
+            fault_stats=FaultStats(),
+        )
+        result.replay = stats
+        return result

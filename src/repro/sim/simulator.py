@@ -50,7 +50,7 @@ import heapq
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping
+from typing import TYPE_CHECKING, Iterator, Mapping
 
 import numpy as np
 
@@ -74,6 +74,9 @@ from .runtime import (
 )
 from .stats import ProcessorStats, RealTimeVerdict, UtilizationSummary
 from .trace import TraceEvent, trace_digest
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from .replay import ReplayStats
 
 __all__ = ["BudgetOverrun", "SimulationOptions", "SimulationResult",
            "Simulator", "simulate"]
@@ -121,6 +124,15 @@ class SimulationOptions:
     #: ``is not None`` hook seam as ``faults``/``telemetry``: off means
     #: the hot path is observably identical to the seed loop.
     noc: NocModel | None = None
+    #: Quasi-static schedule replay (see :mod:`repro.sim.replay`): detect
+    #: the steady-state firing period online and execute whole periods
+    #: per step instead of one event at a time.  Off (the default) leaves
+    #: :meth:`Simulator.run` on the exact event loop below; on, the
+    #: replay engine runs whenever the configuration is eligible (no
+    #: trace/faults/telemetry/NoC/bounded channels) and falls back to
+    #: this loop otherwise.  Either way the observable result is
+    #: bit-identical — only :attr:`SimulationResult.replay` differs.
+    replay: bool = False
 
     def __post_init__(self) -> None:
         # Validate up front: a bad knob should name itself here, not
@@ -177,6 +189,11 @@ class SimulationOptions:
             raise SimulationError(
                 "SimulationOptions.noc must be a NocModel or None, "
                 f"got {type(self.noc).__name__}"
+            )
+        if not isinstance(self.replay, bool):
+            raise SimulationError(
+                "SimulationOptions.replay must be a bool, "
+                f"got {type(self.replay).__name__}"
             )
 
 
@@ -253,6 +270,12 @@ class SimulationResult:
     telemetry: Telemetry | None = None
     #: Interconnect accounting (None unless options.noc was set).
     noc_stats: NocStats | None = None
+    #: Replay-engine accounting (None unless options.replay was set).
+    #: Like ``peak_heap`` this is an execution-strategy counter, not an
+    #: observable of the simulated schedule, so it is excluded from
+    #: :meth:`as_dict` — replay-on and replay-off runs must produce the
+    #: same conformance surface.
+    replay: "ReplayStats | None" = None
 
     def frame_completions(self, output: str, chunks_per_frame: int) -> list[float]:
         """Completion time of each full frame at ``output``."""
@@ -576,6 +599,18 @@ class Simulator:
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
+        # The replay seam mirrors the faults/telemetry/NoC hook
+        # discipline: one precomputed check, and replay-off runs the
+        # byte-for-byte identical event loop below (the engine lives in
+        # its own module and is never imported on this path).
+        if self.options.replay:
+            from .replay import run_with_replay
+
+            return run_with_replay(self)
+        return self._run_des()
+
+    def _run_des(self) -> SimulationResult:
+        """The discrete-event loop proper (one heap pop per event)."""
         runtimes, channels = build_runtime(self.graph)
         opts = self.options
 

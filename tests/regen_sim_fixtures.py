@@ -10,6 +10,18 @@ five Figure 13 applications and writes each golden ``as_dict()`` record to
 (``tests/test_sim_conformance.py``) asserts the optimized simulator
 reproduces these records exactly.
 
+Three further fixture families pin the quasi-static replay engine:
+
+* ``app_<key>_replay.json`` — the reference loop *without* trace
+  recording (trace is a replay-ineligibility trigger, so the replay-on
+  conformance surface must be trace-off).  The suite asserts a
+  ``SimulationOptions(replay=True)`` run reproduces every field.
+* ``app_5_faulted.json`` — an *active* fault scenario.  The frozen
+  reference has no fault seam, so the golden here is the optimized loop
+  (pinned against itself across commits); the suite asserts replay-on
+  matches it exactly and reports itself ineligible (reason "faults").
+* ``app_2_noc.json`` — same shape for a NoC-timed run (reason "noc").
+
 Only rerun this when the *observable* simulation semantics intentionally
 change (new cost model, new stat, ...) — never to paper over a divergence
 introduced by a hot-path optimization.  Review the fixture diff: every
@@ -25,7 +37,14 @@ import sys
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro.apps.suite import BENCHMARK_PROCESSOR, benchmark  # noqa: E402
-from repro.sim import SimulationOptions, reference_simulate  # noqa: E402
+from repro.faults import FaultSpec  # noqa: E402
+from repro.machine import ManyCoreChip  # noqa: E402
+from repro.machine.noc import NocModel, row_major_placement  # noqa: E402
+from repro.sim import (  # noqa: E402
+    SimulationOptions,
+    reference_simulate,
+    simulate,
+)
 from repro.transform import CompileOptions, compile_application  # noqa: E402
 
 #: The five Figure 13 applications pinned by the conformance suite.
@@ -33,14 +52,28 @@ APP_KEYS = ("1", "2", "3", "4", "5")
 
 FIXTURE_DIR = pathlib.Path(__file__).resolve().parent / "fixtures" / "sim_conformance"
 
+#: The faulted conformance scenario: deterministic (seed-driven), and
+#: *active* so replay must refuse to engage.
+FAULTED_APP = "5"
+FAULT_SPEC = dict(seed=7, slow_pes=((3, 2.0),))
 
-def build_fixture(key: str) -> dict:
+#: The NoC conformance scenario: row-major placement on an 8x8 mesh of
+#: benchmark tiles with default link timing.
+NOC_APP = "2"
+NOC_MESH = (8, 8)
+
+
+def _compiled(key: str):
     bench = benchmark(key)
-    compiled = compile_application(
+    return bench, compile_application(
         bench.application(),
         BENCHMARK_PROCESSOR,
         CompileOptions(mapping="greedy"),
     )
+
+
+def build_fixture(key: str) -> dict:
+    bench, compiled = _compiled(key)
     options = SimulationOptions(frames=bench.frames, trace=True)
     result = reference_simulate(compiled, options)
     return {
@@ -57,6 +90,67 @@ def build_fixture(key: str) -> dict:
     }
 
 
+def build_replay_fixture(key: str) -> dict:
+    bench, compiled = _compiled(key)
+    options = SimulationOptions(frames=bench.frames)
+    result = reference_simulate(compiled, options)
+    return {
+        "key": bench.key,
+        "title": bench.title,
+        "config": {
+            "clock_hz": BENCHMARK_PROCESSOR.clock_hz,
+            "memory_words": BENCHMARK_PROCESSOR.memory_words,
+            "mapping": "greedy",
+            "frames": bench.frames,
+            "trace": False,
+        },
+        "golden": result.as_dict(),
+    }
+
+
+def build_faulted_fixture() -> dict:
+    bench, compiled = _compiled(FAULTED_APP)
+    options = SimulationOptions(
+        frames=bench.frames, faults=FaultSpec(**FAULT_SPEC)
+    )
+    result = simulate(compiled, options)
+    return {
+        "key": bench.key,
+        "title": bench.title,
+        "config": {
+            "clock_hz": BENCHMARK_PROCESSOR.clock_hz,
+            "memory_words": BENCHMARK_PROCESSOR.memory_words,
+            "mapping": "greedy",
+            "frames": bench.frames,
+            "faults": {"seed": FAULT_SPEC["seed"],
+                       "slow_pes": [list(p) for p in FAULT_SPEC["slow_pes"]]},
+        },
+        "golden": result.as_dict(),
+    }
+
+
+def build_noc_fixture() -> dict:
+    bench, compiled = _compiled(NOC_APP)
+    chip = ManyCoreChip(
+        cols=NOC_MESH[0], rows=NOC_MESH[1], processor=BENCHMARK_PROCESSOR
+    )
+    noc = NocModel(placement=row_major_placement(compiled.mapping, chip))
+    options = SimulationOptions(frames=bench.frames, noc=noc)
+    result = simulate(compiled, options)
+    return {
+        "key": bench.key,
+        "title": bench.title,
+        "config": {
+            "clock_hz": BENCHMARK_PROCESSOR.clock_hz,
+            "memory_words": BENCHMARK_PROCESSOR.memory_words,
+            "mapping": "greedy",
+            "frames": bench.frames,
+            "noc": {"mesh": list(NOC_MESH), "placement": "row-major"},
+        },
+        "golden": result.as_dict(),
+    }
+
+
 def main() -> int:
     FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
     for key in APP_KEYS:
@@ -68,6 +162,24 @@ def main() -> int:
             f"app {key}: {golden['events']} events, "
             f"{golden['trace']['events']} trace events -> {path}"
         )
+    for key in APP_KEYS:
+        fixture = build_replay_fixture(key)
+        path = FIXTURE_DIR / f"app_{key}_replay.json"
+        path.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
+        print(
+            f"app {key} (replay surface): {fixture['golden']['events']} "
+            f"events -> {path}"
+        )
+    fixture = build_faulted_fixture()
+    path = FIXTURE_DIR / f"app_{FAULTED_APP}_faulted.json"
+    path.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
+    print(f"app {FAULTED_APP} (faulted): {fixture['golden']['events']} "
+          f"events -> {path}")
+    fixture = build_noc_fixture()
+    path = FIXTURE_DIR / f"app_{NOC_APP}_noc.json"
+    path.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
+    print(f"app {NOC_APP} (noc): {fixture['golden']['events']} "
+          f"events -> {path}")
     return 0
 
 

@@ -410,3 +410,81 @@ class TestSimulatorProperties:
         assert d_off.pop("trace")["events"] == 0 and off.trace == []
         assert d_on == d_off
         assert on.events_processed == off.events_processed
+
+    @given(pipelines(), st.integers(1, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_replay_off_is_observation_free(self, case, frames):
+        """replay=False (the default) must leave the fast path untouched:
+        no detector, no recording rings, no stats section — the result
+        dict is byte-identical to a run that never heard of replay."""
+        app, extent, rate = case
+        compiled = self._compile(app)
+        default = simulate(compiled, SimulationOptions(frames=frames))
+        explicit = simulate(
+            compiled, SimulationOptions(frames=frames, replay=False)
+        )
+        assert default.replay is None and explicit.replay is None
+        assert default.as_dict() == explicit.as_dict()
+        assert default.events_processed == explicit.events_processed
+
+    @given(pipelines(), st.integers(1, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_replay_never_changes_observables(self, case, frames):
+        """Whatever the detector does — locks a period, thrashes between
+        aliases, gives up entirely — the *semantics* are pinned: verdict,
+        event count, makespan, outputs, and the whole ``as_dict()``
+        surface match the interpreted run exactly."""
+        app, extent, rate = case
+        compiled = self._compile(app)
+        plain = simulate(compiled, SimulationOptions(frames=frames))
+        rep = simulate(
+            compiled, SimulationOptions(frames=frames, replay=True)
+        )
+        assert rep.as_dict() == plain.as_dict()
+        assert rep.events_processed == plain.events_processed
+        assert rep.makespan_s == plain.makespan_s
+        cpf = max(1, len(plain.output_times["Out"]) // frames)
+        assert (
+            rep.verdict(
+                "Out", rate_hz=rate, chunks_per_frame=cpf, frames=frames
+            ).as_dict()
+            == plain.verdict(
+                "Out", rate_hz=rate, chunks_per_frame=cpf, frames=frames
+            ).as_dict()
+        )
+        stats = rep.replay
+        assert stats is not None and stats.eligible
+        # Conservation: every event was either replayed or interpreted.
+        assert (
+            stats.events_replayed + stats.events_interpreted
+            == rep.events_processed
+        )
+
+    @given(pipelines(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_replay_preserves_fault_accounting(self, case, seed):
+        """With an *active* fault spec, replay=True must demote to the
+        interpreted loop (ineligible, reason "faults") and reproduce the
+        fault accounting bit for bit — injections are stateful RNG draws
+        that a replayed period would skip."""
+        from repro.faults import FaultSpec
+
+        app, extent, rate = case
+        compiled = self._compile(app)
+        spec = FaultSpec.from_dict(
+            {"seed": seed, "transient": {"probability": 0.05}}
+        )
+        assert spec.active()
+        plain = simulate(
+            compiled, SimulationOptions(frames=1, faults=spec)
+        )
+        rep = simulate(
+            compiled,
+            SimulationOptions(frames=1, faults=spec, replay=True),
+        )
+        assert rep.as_dict() == plain.as_dict()
+        assert rep.fault_stats.as_dict() == plain.fault_stats.as_dict()
+        stats = rep.replay
+        assert stats is not None
+        assert not stats.eligible and stats.reason == "faults"
+        assert stats.events_replayed == 0

@@ -114,6 +114,101 @@ def test_reference_matches_golden_fixture():
 
 
 # ----------------------------------------------------------------------
+# 2b. Replay conformance: the quasi-static engine against the same pins
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("key", APP_KEYS)
+def test_replay_matches_golden_fixture(key):
+    """Replay-on must reproduce the trace-off reference golden exactly.
+
+    These fixtures are trace-off because trace recording is a replay
+    ineligibility trigger — the replay conformance surface is everything
+    *except* the trace (stats, output times, verdicts, channel counters).
+    """
+    fixture = json.loads((FIXTURE_DIR / f"app_{key}_replay.json").read_text())
+    bench, compiled = compiled_app(key)
+    assert fixture["config"]["trace"] is False
+
+    result = simulate(
+        compiled, SimulationOptions(frames=bench.frames, replay=True)
+    )
+    got = json.loads(canonical(result.as_dict()))
+    golden = fixture["golden"]
+    assert set(got) == set(golden)
+    for field in golden:
+        assert got[field] == golden[field], (
+            f"app {key}: {field!r} diverged under replay "
+            f"({result.replay.as_dict()})"
+        )
+    stats = result.replay
+    assert stats is not None and stats.eligible
+    # Apps 1/2/4/5 engage replay; app 3's period exceeds the detector
+    # window so it runs the bounded fallback (detection shuts itself off).
+    if key != "3":
+        assert stats.engaged, f"app {key} no longer engages replay"
+        assert stats.events_replayed > 0
+        assert stats.periods_replayed > 0
+
+
+def test_replay_faulted_pins_demotion_ineligibility():
+    """An *active* fault spec must force replay-off semantics exactly.
+
+    The frozen reference has no fault seam, so the golden pins the
+    optimized loop against itself across commits.  Replay-on must (a)
+    reproduce it bit-for-bit and (b) report itself ineligible rather
+    than silently engaging on a perturbed schedule.
+    """
+    from repro.faults import FaultSpec
+
+    fixture = json.loads((FIXTURE_DIR / "app_5_faulted.json").read_text())
+    bench, compiled = compiled_app("5")
+    spec = dict(fixture["config"]["faults"])
+    faults = FaultSpec(
+        seed=spec["seed"],
+        slow_pes=tuple((p, m) for p, m in spec["slow_pes"]),
+    )
+    assert faults.active()
+
+    options = SimulationOptions(frames=bench.frames, faults=faults)
+    plain = simulate(compiled, options)
+    assert json.loads(canonical(plain.as_dict())) == fixture["golden"]
+
+    ropts = SimulationOptions(frames=bench.frames, faults=faults, replay=True)
+    replayed = simulate(compiled, ropts)
+    assert canonical(replayed.as_dict()) == canonical(plain.as_dict())
+    stats = replayed.replay
+    assert stats is not None
+    assert not stats.eligible
+    assert stats.reason == "faults"
+    assert stats.events_replayed == 0
+    assert stats.events_interpreted == replayed.events_processed
+
+
+def test_replay_noc_pins_demotion_ineligibility():
+    """NoC-timed runs are replay-ineligible; semantics must be untouched."""
+    from repro.machine import ManyCoreChip
+    from repro.machine.noc import NocModel, row_major_placement
+
+    fixture = json.loads((FIXTURE_DIR / "app_2_noc.json").read_text())
+    bench, compiled = compiled_app("2")
+    cols, rows = fixture["config"]["noc"]["mesh"]
+    chip = ManyCoreChip(cols=cols, rows=rows, processor=BENCHMARK_PROCESSOR)
+    noc = NocModel(placement=row_major_placement(compiled.mapping, chip))
+
+    options = SimulationOptions(frames=bench.frames, noc=noc)
+    plain = simulate(compiled, options)
+    assert json.loads(canonical(plain.as_dict())) == fixture["golden"]
+
+    ropts = SimulationOptions(frames=bench.frames, noc=noc, replay=True)
+    replayed = simulate(compiled, ropts)
+    assert canonical(replayed.as_dict()) == canonical(plain.as_dict())
+    stats = replayed.replay
+    assert stats is not None
+    assert not stats.eligible
+    assert stats.reason == "noc"
+    assert stats.events_replayed == 0
+
+
+# ----------------------------------------------------------------------
 # 3. Pixel outputs vs the untimed golden executor
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("key", ["1", "4"])  # Bayer demosaic, convolutions

@@ -1,0 +1,146 @@
+"""Randomized differential testing: all three engines, one observable.
+
+The conformance suite pins the five Figure 13 applications; this harness
+complements it with *generated* programs.  A seed-deterministic fuzzer
+builds random linear pipelines from the same kernel palette as
+``test_random_pipelines`` and runs each through:
+
+* the frozen seed loop (``repro.sim.reference``),
+* the optimized event loop (``repro.sim.simulate``), and
+* the quasi-static replay engine (``SimulationOptions(replay=True)``),
+
+then asserts the three ``SimulationResult.as_dict()`` canonical forms,
+makespans, and raw output buffers are identical.  Any divergence the
+replay engine's per-op verification fails to catch lands here as a
+digest mismatch with the case's generator seed in the message, so a
+failure reproduces with ``_build_case(random.Random(seed))``.
+
+An aggregate engagement check keeps the harness honest: if the replay
+engine never compiled and replayed a single period across the whole
+fuzz corpus, the differential proof would be vacuous (replay-on would
+just be the event loop twice).
+
+See ``docs/performance.md`` ("Debugging a replay divergence") for how to
+use this harness to bisect a divergence to its first mismatched period.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import numpy as np
+
+from test_random_pipelines import PALETTE
+
+from repro.geometry import Size2D, Step2D, iteration_grid
+from repro.graph import ApplicationGraph
+from repro.kernels import ApplicationOutput
+from repro.machine import ProcessorSpec
+from repro.sim import SimulationOptions, reference_simulate, simulate
+from repro.transform import CompileOptions, compile_application
+
+#: Fuzzed pipelines per run.  Deterministic: case ``i`` always gets the
+#: generator seeded with ``_SEED0 + i``.
+N_CASES = 200
+_SEED0 = 0xD1FF00
+
+_PROC = ProcessorSpec(clock_hz=50e6, memory_words=2048)
+
+
+def _build_case(rng: random.Random):
+    """One random pipeline plus its simulation horizon (mirrors the
+    Hypothesis generator in ``test_random_pipelines``, but driven by
+    ``random.Random`` so 200 cases stay fast and re-runnable by seed)."""
+    width = rng.randint(8, 20)
+    height = rng.randint(8, 16)
+    rate = rng.choice([50.0, 200.0, 800.0])
+    frames = rng.randint(1, 3)
+    n_stages = rng.randint(1, 4)
+
+    app = ApplicationGraph("fuzz")
+    src = app.add_input("Input", width, height, rate)
+    frame = np.arange(float(width * height)).reshape(height, width)
+    src._pattern = frame
+
+    extent = Size2D(width, height)
+    prev, prev_port = "Input", "out"
+    for i in range(n_stages):
+        ctor, window, step = PALETTE[rng.randrange(len(PALETTE))]
+        win = Size2D(*window)
+        stp = Step2D(*step)
+        if not win.fits_in(extent):
+            continue
+        grid = iteration_grid(extent, win, stp)
+        kernel = ctor(i)
+        app.add_kernel(kernel)
+        app.connect(prev, prev_port, kernel.name, "in")
+        prev, prev_port = kernel.name, "out"
+        extent = grid
+    app.add_kernel(ApplicationOutput("Out", 1, 1))
+    app.connect(prev, prev_port, "Out", "in")
+    return app, frames
+
+
+def _canonical(result) -> str:
+    return json.dumps(result.as_dict(), sort_keys=True)
+
+
+def test_differential_reference_fast_replay():
+    engaged = 0
+    events_replayed = 0
+    for case in range(N_CASES):
+        seed = _SEED0 + case
+        app, frames = _build_case(random.Random(seed))
+        compiled = compile_application(
+            app, _PROC, CompileOptions(mapping="greedy")
+        )
+        opts = SimulationOptions(frames=frames)
+        ropts = SimulationOptions(frames=frames, replay=True)
+
+        ref = reference_simulate(compiled, opts)
+        fast = simulate(compiled, opts)
+        rep = simulate(compiled, ropts)
+
+        cref = _canonical(ref)
+        assert _canonical(fast) == cref, (
+            f"fast path diverged from reference (case {case}, seed {seed:#x})"
+        )
+        assert _canonical(rep) == cref, (
+            f"replay diverged from reference (case {case}, seed {seed:#x}): "
+            f"{rep.replay.as_dict()}"
+        )
+        assert rep.makespan_s == ref.makespan_s == fast.makespan_s
+        for name, chunks in ref.outputs.items():
+            got = rep.outputs[name]
+            assert len(got) == len(chunks), (case, seed, name)
+            for a, b in zip(chunks, got):
+                assert np.array_equal(a, b), (
+                    f"output buffer mismatch (case {case}, seed {seed:#x}, "
+                    f"output {name})"
+                )
+
+        stats = rep.replay
+        assert stats is not None and stats.eligible
+        if stats.engaged:
+            engaged += 1
+            events_replayed += stats.events_replayed
+
+    # Non-vacuity: the corpus must actually exercise the replay executor
+    # (measured: 185/200 cases engage, ~38% of all events replayed).
+    assert engaged >= 50, (
+        f"only {engaged}/{N_CASES} fuzzed pipelines engaged replay — "
+        "the differential proof is near-vacuous; retune the generator"
+    )
+    assert events_replayed > 0
+
+
+def test_differential_case_generator_is_deterministic():
+    """The same seed must rebuild the same pipeline (failure messages
+    promise reproduction by seed)."""
+    a, fa = _build_case(random.Random(_SEED0))
+    b, fb = _build_case(random.Random(_SEED0))
+    assert fa == fb
+    assert [k.name for k in a.kernels.values()] == [
+        k.name for k in b.kernels.values()
+    ]
