@@ -1,0 +1,56 @@
+"""``repro.chaos`` — infrastructure fault injection and fleet supervision.
+
+What :mod:`repro.faults` is to the simulated machine, this package is
+to the host-side fleet that runs it: a declarative, seed-deterministic
+:class:`ChaosSpec` injects worker crashes, hangs, slow workers, cache
+corruption, torn store writes, and connection resets into
+:mod:`repro.explore` and :mod:`repro.serve` — all through optional
+``chaos=None`` seams, so the zero-chaos path is byte-identical to a
+build without this package.  Alongside it lives the supervision that
+chaos testing flushed out and production needs regardless: worker
+heartbeat watchdogs, poison-job quarantine, checksummed cache entries,
+and bounded-with-jitter retry backoff.
+
+* :mod:`~repro.chaos.model` — the validated spec (``ChaosSpecError``
+  names the offending field, like ``FaultSpec``);
+* :mod:`~repro.chaos.inject` — pure ``(seed, site, key)`` decisions
+  plus the decision ledger that witnesses bit-reproducibility;
+* :mod:`~repro.chaos.watchdog` — heartbeats, ``QuarantineLedger``,
+  ``backoff_delay``;
+* :mod:`~repro.chaos.suite` — the scenario matrix behind
+  ``repro chaos`` (imported lazily: it drives a live service).
+
+See ``docs/chaos.md`` for the spec format, scenario matrix, and the
+invariants every scenario asserts.
+"""
+
+from .inject import ChaosInjector, unit_interval
+from .model import (
+    ChaosSpec,
+    HttpChaos,
+    StorageChaos,
+    WorkerChaos,
+    load_chaos_spec,
+)
+from .watchdog import (
+    QuarantineLedger,
+    backoff_delay,
+    heartbeat_stale,
+    start_heartbeat,
+    touch_heartbeat,
+)
+
+__all__ = [
+    "ChaosInjector",
+    "unit_interval",
+    "ChaosSpec",
+    "HttpChaos",
+    "StorageChaos",
+    "WorkerChaos",
+    "load_chaos_spec",
+    "QuarantineLedger",
+    "backoff_delay",
+    "heartbeat_stale",
+    "start_heartbeat",
+    "touch_heartbeat",
+]

@@ -1,0 +1,151 @@
+"""The chaos injector: seed-deterministic decisions, one per site/key.
+
+Every injection decision is a pure function of ``(seed, site, key)``:
+the first 8 bytes of ``sha256(f"{seed}|{site}|{key}")`` mapped to
+``[0, 1)`` and compared against the site's probability.  Keys are
+chosen to be *stable identities* — job fingerprint and attempt number,
+record fingerprint, stream position — never wall-clock or thread order,
+so two runs of the same ``(spec, seed)`` make the same decisions no
+matter how their workers interleave.
+
+The injector also keeps a **decision ledger**: every probabilistic
+decision taken (at a site with non-zero probability) is recorded as
+``(site, key, hit)``.  :meth:`ChaosInjector.ledger_digest` hashes the
+sorted, deduplicated ledger, which is the bit-reproducibility witness
+the chaos suite compares across repeated runs — order-independent by
+construction, so scheduling nondeterminism cannot leak into it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import threading
+from typing import Any
+
+from .model import ChaosSpec
+
+__all__ = ["unit_interval", "ChaosInjector"]
+
+
+def unit_interval(seed: int, site: str, key: str) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` for one decision."""
+    digest = hashlib.sha256(
+        f"{seed}|{site}|{key}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+class ChaosInjector:
+    """Stateful wrapper over one :class:`ChaosSpec`.
+
+    One injector instance is shared by every seam of a service (worker
+    execution, cache, store, HTTP), so its ledger is the complete
+    account of what a scenario did.  Thread-safe: the serve stack asks
+    for decisions from the event loop and from ``to_thread`` workers.
+    """
+
+    def __init__(self, spec: ChaosSpec) -> None:
+        self.spec = spec
+        self._lock = threading.Lock()
+        #: (site, key) -> hit; insertion also deduplicates re-queries.
+        self._ledger: dict[tuple[str, str], bool] = {}
+        self._request_ordinal = itertools.count()
+
+    # -- the decision primitive ----------------------------------------
+
+    def _decide(self, site: str, key: str, probability: float) -> bool:
+        if probability <= 0.0:
+            return False  # inactive sites never touch the ledger
+        hit = unit_interval(self.spec.seed, site, key) < probability
+        with self._lock:
+            self._ledger[(site, key)] = hit
+        return hit
+
+    # -- worker seam ----------------------------------------------------
+
+    def worker_action(self, fingerprint: str, attempt: int,
+                      label: str = "") -> dict[str, Any] | None:
+        """The chaos action for one job attempt, or None (run clean).
+
+        Keyed by ``(fingerprint, attempt)``; the first matching fault
+        class wins (crash > hang > slow), mirroring severity.
+        """
+        worker = self.spec.worker
+        if worker.match and worker.match not in label:
+            return None
+        key = f"{fingerprint}:{attempt}"
+        if self._decide("worker.crash", key, worker.crash_probability):
+            return {"mode": "crash"}
+        if self._decide("worker.hang", key, worker.hang_probability):
+            return {"mode": "hang"}
+        if self._decide("worker.slow", key, worker.slow_probability):
+            return {"mode": "slow", "delay_s": worker.slow_s}
+        return None
+
+    # -- storage seam ----------------------------------------------------
+
+    def mutate_cache_entry(self, fingerprint: str,
+                           payload: bytes) -> bytes | None:
+        """Corrupted bytes to write instead of ``payload``, or None."""
+        if self._decide("cache.corrupt", fingerprint,
+                        self.spec.storage.cache_corrupt_probability):
+            # Valid-length garbage: parses as neither JSON nor UTF-8,
+            # exactly what bit rot under a journaled write looks like.
+            noise = hashlib.sha256(payload).digest()
+            reps = len(payload) // len(noise) + 1
+            return b"\x00" + (noise * reps)[: max(1, len(payload) - 1)]
+        if self._decide("cache.truncate", fingerprint,
+                        self.spec.storage.cache_truncate_probability):
+            return payload[: max(1, len(payload) // 2)]
+        return None
+
+    def tear_store_line(self, key: str) -> bool:
+        """Whether this store append loses its tail (partial write)."""
+        return self._decide(
+            "store.torn", key,
+            self.spec.storage.store_torn_write_probability,
+        )
+
+    # -- http seam -------------------------------------------------------
+
+    def drop_request(self, method: str, path: str) -> bool:
+        """Whether to reset this request's connection before answering.
+
+        GET only — see :class:`~.model.HttpChaos`.  Keyed by a request
+        ordinal so repeated requests draw independently (deterministic
+        for a deterministic request sequence).
+        """
+        if method != "GET":
+            return False
+        ordinal = next(self._request_ordinal)
+        return self._decide("http.reset", f"{method} {path}#{ordinal}",
+                            self.spec.http.reset_probability)
+
+    def break_stream(self, run_id: str, seq: int) -> bool:
+        """Whether to cut an event stream right after envelope ``seq``."""
+        return self._decide("http.break", f"{run_id}:{seq}",
+                            self.spec.http.stream_break_probability)
+
+    # -- accounting ------------------------------------------------------
+
+    def decisions(self) -> list[tuple[str, str, bool]]:
+        """The sorted, deduplicated decision ledger."""
+        with self._lock:
+            items = list(self._ledger.items())
+        return sorted((site, key, hit) for (site, key), hit in items)
+
+    def injected(self, site_prefix: str = "") -> int:
+        """How many decisions under ``site_prefix`` actually fired."""
+        return sum(1 for site, _, hit in self.decisions()
+                   if hit and site.startswith(site_prefix))
+
+    def ledger_digest(self) -> str:
+        """Order-independent hash of every decision taken.
+
+        Two runs of the same ``(spec, seed)`` over the same work must
+        produce equal digests — the chaos suite's reproducibility check.
+        """
+        lines = [f"{site}|{key}|{int(hit)}"
+                 for site, key, hit in self.decisions()]
+        return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()

@@ -14,6 +14,7 @@
     python -m repro submit sweep.json --watch # run a sweep on the service
     python -m repro watch RUN_ID              # stream a run's events
     python -m repro jobs                      # list the service's runs
+    python -m repro chaos --seed 7            # fault-injection scenario matrix
 
 ``simulate``, ``schedule``, ``suite``, and ``explore`` take ``--json``
 for machine-readable output.
@@ -499,11 +500,16 @@ def _serve_client(args: argparse.Namespace):
 
 
 def _stream_run(client, run_id: str, as_json: bool) -> int:
-    """Render a run's event stream; exit 0 iff it ends ``succeeded``."""
+    """Render a run's event stream; exit 0 iff it ends ``succeeded``.
+
+    Uses the self-healing :meth:`ServiceClient.watch`: a connection
+    reset mid-run resumes from the last envelope seen instead of
+    silently truncating the stream (and misreporting the exit code).
+    """
     from .serve import decode_event
 
     status = None
-    for envelope in client.events(run_id):
+    for envelope in client.watch(run_id):
         if as_json:
             print(json.dumps(envelope))
         else:
@@ -520,6 +526,13 @@ def _stream_run(client, run_id: str, as_json: bool) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     from .serve import ServiceConfig, run_service
 
+    chaos = None
+    if args.chaos is not None:
+        from .chaos import load_chaos_spec
+
+        chaos = load_chaos_spec(args.chaos)
+        if args.chaos_seed is not None:
+            chaos = chaos.with_seed(args.chaos_seed)
     return run_service(
         host=args.host,
         port=args.port,
@@ -528,8 +541,36 @@ def cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             retries=args.retries,
             retry_timeouts=args.retry_timeouts,
+            heartbeat_s=args.heartbeat_s,
+            quarantine_after=args.quarantine_after,
         ),
+        chaos=chaos,
     )
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the chaos scenario matrix against live service instances."""
+    # Lazy: the suite drives the full serve stack and is only needed
+    # here (keeping ``import repro.chaos`` cheap and cycle-free).
+    from .chaos.suite import run_matrix, write_report
+
+    names = args.scenarios.split(",") if args.scenarios else None
+    try:
+        report = run_matrix(
+            args.data_dir, seed=args.seed, names=names,
+            announce=None if args.json else print,
+        )
+    except ValueError as exc:  # unknown scenario name
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.report is not None:
+        write_report(report, args.report)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, default=str))
+    else:
+        print()
+        print(report.describe())
+    return 0 if report.ok else 1
 
 
 def cmd_submit(args: argparse.Namespace) -> int:
@@ -741,6 +782,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retry-timeouts", action="store_true",
                    dest="retry_timeouts",
                    help="retry timed-out jobs (default: terminal)")
+    p.add_argument("--heartbeat-s", type=float, default=None,
+                   dest="heartbeat_s", metavar="SECONDS",
+                   help="watchdog: kill workers whose heartbeat file goes "
+                        "stale for this long (default: off)")
+    p.add_argument("--quarantine-after", type=int, default=3,
+                   dest="quarantine_after", metavar="N",
+                   help="park a job fingerprint after N consecutive "
+                        "crashes instead of retrying forever (0 = off)")
+    p.add_argument("--chaos", default=None, metavar="FILE",
+                   help="arm deterministic fault injection from a "
+                        "ChaosSpec JSON file (see docs/chaos.md)")
+    p.add_argument("--chaos-seed", type=int, default=None,
+                   dest="chaos_seed", metavar="N",
+                   help="override the chaos spec's seed")
+
+    p = sub.add_parser(
+        "chaos",
+        help="run the fault-injection scenario matrix against live "
+             "service instances (see docs/chaos.md)",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="chaos seed; the whole matrix is bit-reproducible "
+                        "per (scenario, seed)")
+    p.add_argument("--scenarios", default="",
+                   help="comma-separated scenario names (default: all)")
+    p.add_argument("--data-dir", default=".repro-chaos", dest="data_dir",
+                   help="scratch root; each scenario gets a subdirectory "
+                        "with its service data dir and event logs")
+    p.add_argument("--report", default=None, metavar="FILE",
+                   help="also write the full report as JSON to FILE")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report on stdout")
 
     def _client_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--url", default=f"http://127.0.0.1:{DEFAULT_PORT}",
@@ -784,6 +857,7 @@ _COMMANDS = {
     "suite": cmd_suite,
     "explore": cmd_explore,
     "serve": cmd_serve,
+    "chaos": cmd_chaos,
     "submit": cmd_submit,
     "watch": cmd_watch,
     "jobs": cmd_jobs,

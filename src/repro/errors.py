@@ -23,6 +23,7 @@ __all__ = [
     "SimulationError",
     "FiringError",
     "FaultSpecError",
+    "ChaosSpecError",
     "RealTimeViolation",
     "ChannelOverflow",
     "ResourceError",
@@ -95,6 +96,17 @@ class FaultSpecError(SimulationError):
 
     Carries the offending field in the message so sweep authors can fix
     the spec without reading the validator.
+    """
+
+
+class ChaosSpecError(BlockParallelError):
+    """An infrastructure chaos specification is malformed (see
+    :mod:`repro.chaos`).
+
+    Deliberately *not* a :class:`SimulationError`: chaos strikes the
+    host-side fleet (workers, cache, store, HTTP), never the simulated
+    machine — that is :class:`FaultSpecError`'s domain.  Carries the
+    offending field in the message, like its faults counterpart.
     """
 
 

@@ -15,19 +15,28 @@ transparently, so existing caches keep every entry without migration;
 new writes always go to the sharded path.
 
 Writes are atomic (temp file + ``os.replace``) so a killed sweep never
-leaves a truncated entry; a corrupt or schema-mismatched file reads as a
-miss and is overwritten by the next store.
+leaves a truncated entry, and every entry carries a **sha256 trailer**
+over its record, so bit rot *after* the write is detected too: an entry
+that fails to parse or fails its checksum reads as a miss, is moved to
+``root/quarantine/`` for post-mortems, and the job simply recomputes —
+corrupt data is never returned and never crashes a sweep.  Entries
+written before the trailer existed (no ``sha256`` key) still read.
+
+The optional ``chaos`` injector (see :mod:`repro.chaos`) corrupts or
+truncates entries at write time to prove exactly that recovery path;
+``chaos=None`` (the default) takes none of these branches.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
 from pathlib import Path
 from typing import Any, Iterator
 
-__all__ = ["CACHE_SCHEMA", "SHARD_WIDTH", "ResultCache"]
+__all__ = ["CACHE_SCHEMA", "SHARD_WIDTH", "QUARANTINE_DIR", "ResultCache"]
 
 CACHE_SCHEMA = 1
 
@@ -36,13 +45,27 @@ CACHE_SCHEMA = 1
 #: small up to millions of cached results.
 SHARD_WIDTH = 2
 
+#: Corrupt entries are moved here (relative to the cache root) instead
+#: of deleted, so an operator can diff what the disk did to them.  The
+#: name is longer than ``SHARD_WIDTH``, so shard globs never match it.
+QUARANTINE_DIR = "quarantine"
+
+
+def _record_digest(record: dict[str, Any]) -> str:
+    """Canonical sha256 of a cached record — the entry's checksum."""
+    payload = json.dumps(record, sort_keys=True, separators=(",", ":"),
+                         default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
 
 class ResultCache:
     """A sharded directory of ``<prefix>/<fingerprint>.json`` records."""
 
-    def __init__(self, root: str | os.PathLike[str]) -> None:
+    def __init__(self, root: str | os.PathLike[str], *,
+                 chaos: Any | None = None) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._chaos = chaos
 
     def _validate(self, fingerprint: str) -> str:
         if not fingerprint or any(c in fingerprint for c in "/\\."):
@@ -58,24 +81,49 @@ class ResultCache:
         self._validate(fingerprint)
         return self.root / f"{fingerprint}.json"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside; never let the move itself fail
+        a read (two readers may race to quarantine the same file)."""
+        target_dir = self.root / QUARANTINE_DIR
+        try:
+            target_dir.mkdir(exist_ok=True)
+            os.replace(path, target_dir / path.name)
+        except OSError:  # pragma: no cover - lost the race; same outcome
+            pass
+
     def _read(self, path: Path, fingerprint: str) -> dict[str, Any] | None:
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 entry = json.load(fh)
-        except (OSError, json.JSONDecodeError):
+        except OSError:
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            # The file exists but is not the JSON we wrote: disk
+            # corruption or a torn write.  Park it and recompute.
+            self._quarantine(path)
             return None
         if not isinstance(entry, dict) or entry.get("schema") != CACHE_SCHEMA:
             return None
         if entry.get("fingerprint") != fingerprint:
             return None
         record = entry.get("record")
-        return record if isinstance(record, dict) else None
+        if not isinstance(record, dict):
+            return None
+        digest = entry.get("sha256")
+        if digest is not None and digest != _record_digest(record):
+            # Parses, but the payload is not what was written: the
+            # worst corruption class, and exactly what the trailer is
+            # for — without it this would be served as a valid result.
+            self._quarantine(path)
+            return None
+        return record
 
     def get(self, fingerprint: str) -> dict[str, Any] | None:
         """The cached record for ``fingerprint``, or None on miss.
 
-        Unreadable or wrong-schema entries are misses, never errors — the
-        cache must not be able to take a sweep down.
+        Unreadable, wrong-schema, or checksum-failing entries are
+        misses, never errors — the cache must not be able to take a
+        sweep down, and must never return corrupt data.
         """
         record = self._read(self._sharded_path(fingerprint), fingerprint)
         if record is not None:
@@ -90,11 +138,17 @@ class ResultCache:
             "schema": CACHE_SCHEMA,
             "fingerprint": fingerprint,
             "record": record,
+            "sha256": _record_digest(record),
         }
+        data = json.dumps(entry, default=str).encode("utf-8")
+        if self._chaos is not None:
+            mutated = self._chaos.mutate_cache_entry(fingerprint, data)
+            if mutated is not None:
+                data = mutated
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(entry, fh, default=str)
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -115,6 +169,12 @@ class ResultCache:
 
     def fingerprints(self) -> Iterator[str]:
         yield from sorted({p.stem for p in self._entry_paths()})
+
+    def quarantined(self) -> list[str]:
+        """Fingerprints of entries parked as corrupt, sorted."""
+        return sorted(
+            p.stem for p in (self.root / QUARANTINE_DIR).glob("*.json")
+        ) if (self.root / QUARANTINE_DIR).is_dir() else []
 
     def migrate_flat_entries(self) -> int:
         """Move pre-sharding flat entries into their shards; returns how

@@ -19,7 +19,7 @@ Invariants (mirrored by the executor and checked by the test suite):
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field, fields
+from dataclasses import MISSING, asdict, dataclass, field, fields
 from typing import Callable, Mapping
 
 __all__ = [
@@ -69,21 +69,28 @@ class SweepEvent:
     def from_dict(cls, data: Mapping) -> "SweepEvent":
         """Rebuild the typed event an ``as_dict`` payload came from.
 
-        Unknown event names and missing fields raise ``ValueError`` (a
-        wire consumer must not silently mistype an event); extra keys —
-        ``schema``, transport envelopes like ``seq`` — are ignored so
-        the format can grow without breaking old decoders.
+        Unknown event names and missing *required* fields raise
+        ``ValueError`` (a wire consumer must not silently mistype an
+        event); a missing field that declares a default takes the
+        default, so adding an optional field never breaks decoding of
+        payloads written by older producers.  Extra keys — ``schema``,
+        transport envelopes like ``seq`` — are ignored so the format
+        can grow without breaking old decoders.
         """
         name = data.get("event")
         event_cls = EVENT_TYPES.get(name)
         if event_cls is None:
             raise ValueError(f"unknown sweep event type {name!r}")
-        try:
-            kwargs = {f.name: data[f.name] for f in fields(event_cls)}
-        except KeyError as exc:
-            raise ValueError(
-                f"event {name!r} payload is missing field {exc.args[0]!r}"
-            ) from None
+        kwargs = {}
+        for field_info in fields(event_cls):
+            if field_info.name in data:
+                kwargs[field_info.name] = data[field_info.name]
+            elif (field_info.default is MISSING
+                    and field_info.default_factory is MISSING):
+                raise ValueError(
+                    f"event {name!r} payload is missing field "
+                    f"{field_info.name!r}"
+                )
         return event_cls(**kwargs)
 
     def describe(self) -> str:  # pragma: no cover - subclasses override

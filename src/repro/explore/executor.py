@@ -30,6 +30,25 @@ Results are stored through the content-addressed cache (hits skip
 execution entirely) and appended to the JSONL store.  ``workers=0``
 selects in-process serial execution — no isolation and best-effort
 timeouts, but trivially debuggable.
+
+Supervision (opt-in, from :mod:`repro.chaos`):
+
+* ``heartbeat_s`` arms a **watchdog**: workers touch a heartbeat file
+  on a short interval, and a worker silent past the deadline is killed
+  and charged a retryable ``crash`` — a wedged process then costs one
+  heartbeat window, not its full wall-clock timeout.
+* ``quarantine_after`` arms **poison-job quarantine**: a fingerprint
+  that crashes that many consecutive times is parked with a terminal
+  ``quarantined`` record instead of burning the whole retry budget.
+* Retry backoff is **bounded** at ``backoff_max_s`` with deterministic
+  fingerprint-keyed jitter (see :func:`repro.chaos.backoff_delay`), so
+  shared-cause failures do not synchronize into retry herds.
+
+A :class:`~repro.chaos.ChaosInjector` passed as ``chaos`` injects
+worker crashes/hangs/slowdowns per ``(fingerprint, attempt)`` in the
+pooled path (the serial path has no worker process to break and runs
+clean).  All of this sits behind ``None``/``0`` defaults: a chaos-free
+sweep takes none of these branches.
 """
 
 from __future__ import annotations
@@ -37,6 +56,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import signal
+import tempfile
 import threading
 import time
 from concurrent.futures import (
@@ -50,6 +70,13 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
+from ..chaos.inject import ChaosInjector
+from ..chaos.watchdog import (
+    QuarantineLedger,
+    backoff_delay,
+    heartbeat_stale,
+    start_heartbeat,
+)
 from ..errors import BlockParallelError
 from ..sim.simulator import SimulationOptions, simulate
 from ..transform.compile import compile_application
@@ -90,10 +117,17 @@ class SweepOptions:
     retries: int = 2
     #: Base of the exponential retry backoff, seconds.
     backoff_s: float = 0.1
+    #: Cap on the exponential backoff, seconds (jittered below it).
+    backoff_max_s: float = 5.0
     #: Whether a timed-out job is retried (default: terminal).
     retry_timeouts: bool = False
     #: Deadline-check granularity of the scheduler loop, seconds.
     tick_s: float = 0.05
+    #: Watchdog heartbeat deadline, seconds; None disarms the watchdog.
+    heartbeat_s: float | None = None
+    #: Consecutive crashes before a fingerprint is quarantined; 0 = off
+    #: (the historical behaviour: crashes spend the retry budget).
+    quarantine_after: int = 0
 
     def resolved_workers(self) -> int:
         if self.workers < 0:
@@ -280,19 +314,48 @@ def execute_job(job: Job) -> dict[str, Any]:
     return stats
 
 
-def _worker(job_dict: dict[str, Any]) -> dict[str, Any]:
+def _worker(job_dict: dict[str, Any],
+            chaos_action: dict[str, Any] | None = None,
+            heartbeat: str | None = None,
+            heartbeat_interval_s: float = 0.0) -> dict[str, Any]:
     """Pool entry point: never raises, so every Python-level failure comes
     back as data (exceptions crossing the pool boundary are reserved for
-    dead workers)."""
-    job = Job.from_dict(job_dict)
+    dead workers).
+
+    ``chaos_action`` is a pre-drawn injector decision (the parent draws
+    it so the worker stays deterministic); ``heartbeat`` is the watchdog
+    file this worker must keep fresh while it is healthy.
+    """
+    action = chaos_action or {}
+    if action.get("mode") == "hang":
+        # A wedged worker heartbeats nothing: deliberately do NOT start
+        # the heartbeat thread, so the parent's watchdog observes the
+        # exact silence a real hang (stuck in C, SIGSTOP, swap death)
+        # produces.
+        while True:  # pragma: no cover - killed by parent
+            time.sleep(3600.0)
+    stop = None
+    if heartbeat is not None and heartbeat_interval_s > 0.0:
+        stop = start_heartbeat(heartbeat, heartbeat_interval_s)
     try:
-        return {"ok": True, "stats": execute_job(job)}
-    except BlockParallelError as exc:
-        return {"ok": False, "kind": "compile-error",
-                "message": f"{type(exc).__name__}: {exc}", "retryable": False}
-    except BaseException as exc:  # noqa: BLE001 - isolation boundary
-        return {"ok": False, "kind": "error",
-                "message": f"{type(exc).__name__}: {exc}", "retryable": True}
+        if action.get("mode") == "crash":
+            os._exit(23)  # hard death: breaks the pool, blamed as crash
+        if action.get("mode") == "slow":
+            time.sleep(float(action.get("delay_s", 0.0)))
+        job = Job.from_dict(job_dict)
+        try:
+            return {"ok": True, "stats": execute_job(job)}
+        except BlockParallelError as exc:
+            return {"ok": False, "kind": "compile-error",
+                    "message": f"{type(exc).__name__}: {exc}",
+                    "retryable": False}
+        except BaseException as exc:  # noqa: BLE001 - isolation boundary
+            return {"ok": False, "kind": "error",
+                    "message": f"{type(exc).__name__}: {exc}",
+                    "retryable": True}
+    finally:
+        if stop is not None:
+            stop.set()
 
 
 # ---------------------------------------------------------------------------
@@ -313,6 +376,7 @@ class _Flight:
     pool: ProcessPoolExecutor
     started: float
     deadline: float
+    heartbeat: str | None = None
 
 
 def _mp_context():
@@ -369,6 +433,8 @@ def run_job_isolated(
     timeout_s: float | None = None,
     cancel: threading.Event | None = None,
     poll_s: float = 0.05,
+    heartbeat_s: float | None = None,
+    chaos_action: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """One job attempt in its own single-worker pool, cancellable.
 
@@ -385,6 +451,14 @@ def run_job_isolated(
     * ``"cancelled"`` as soon as ``cancel`` is observed set (checked
       every ``poll_s``); the worker process is terminated either way.
 
+    ``heartbeat_s`` arms the watchdog: the worker touches a heartbeat
+    file every quarter-deadline, and a file stale past ``heartbeat_s``
+    gets the worker killed and charged a retryable ``crash`` (the
+    payload carries ``"watchdog": True``) — long before the wall-clock
+    budget would have noticed.  ``chaos_action`` is a pre-drawn
+    :meth:`~repro.chaos.ChaosInjector.worker_action` decision forwarded
+    to the worker.
+
     The pool is always torn down before returning, so a crashed or hung
     worker never outlives its job.
     """
@@ -392,11 +466,18 @@ def run_job_isolated(
     if cancel is not None and cancel.is_set():
         return {"ok": False, "kind": "cancelled",
                 "message": "cancelled before start", "retryable": False}
+    hb_path: str | None = None
+    hb_interval = 0.0
+    if heartbeat_s is not None and heartbeat_s > 0.0:
+        fd, hb_path = tempfile.mkstemp(prefix="repro-heartbeat-")
+        os.close(fd)
+        hb_interval = heartbeat_s / 4.0
     pool = ProcessPoolExecutor(max_workers=1, mp_context=_mp_context(),
                            initializer=_worker_init)
     deadline = time.monotonic() + budget
     try:
-        future = pool.submit(_worker, job.to_dict())
+        future = pool.submit(_worker, job.to_dict(), chaos_action,
+                             hb_path, hb_interval)
         while True:
             try:
                 return future.result(timeout=poll_s)
@@ -409,12 +490,23 @@ def run_job_isolated(
                 return {"ok": False, "kind": "cancelled",
                         "message": "cancelled mid-flight",
                         "retryable": False}
+            if (hb_path is not None
+                    and heartbeat_stale(hb_path, heartbeat_s)):
+                return {"ok": False, "kind": "crash",
+                        "message": (f"watchdog: no heartbeat for "
+                                    f"{heartbeat_s:g}s; worker killed"),
+                        "retryable": True, "watchdog": True}
             if time.monotonic() >= deadline:
                 return {"ok": False, "kind": "timeout",
                         "message": f"exceeded {budget:g}s wall clock",
                         "retryable": False}
     finally:
         _terminate_pool(pool)
+        if hb_path is not None:
+            try:
+                os.unlink(hb_path)
+            except OSError:  # pragma: no cover - already gone
+                pass
 
 
 def run_sweep(
@@ -425,6 +517,7 @@ def run_sweep(
     options: SweepOptions = SweepOptions(),
     on_event: Callable[[SweepEvent], None] | None = None,
     resume: Mapping[str, dict[str, Any]] | None = None,
+    chaos: ChaosInjector | None = None,
 ) -> SweepResult:
     """Run every job to exactly one terminal record.
 
@@ -434,7 +527,9 @@ def run_sweep(
     ``resume`` is a fingerprint → prior-result mapping (typically
     :func:`~repro.explore.store.completed_records` over an earlier
     store) whose entries short-circuit exactly like cache hits — the
-    sweep then completes only the un-cached remainder.
+    sweep then completes only the un-cached remainder.  ``chaos``
+    injects worker faults into the pooled path (see the module
+    docstring); ``None`` — the default — is observation-free.
     """
     jobs = list(jobs)
     emit = on_event or (lambda event: None)
@@ -477,7 +572,10 @@ def run_sweep(
             emit(JobScheduled(job.label, fingerprint=job.fingerprint))
             pending.append(_Attempt(job=job, index=index))
 
+    quarantine = QuarantineLedger(options.quarantine_after)
+
     def succeed(task: _Attempt, stats: dict[str, Any]) -> None:
+        quarantine.clear(task.job.fingerprint)
         record = base_record(task.job)
         record.update(kind="result", attempts=task.attempt, stats=stats)
         if cache is not None:
@@ -492,8 +590,26 @@ def run_sweep(
 
     def fail_or_retry(task: _Attempt, kind: str, message: str,
                       retryable: bool) -> None:
+        if kind == "crash":
+            reason = quarantine.record_crash(task.job.fingerprint,
+                                             message)
+            if reason is not None:
+                # Crash loop: park the fingerprint instead of spending
+                # what is left of the retry budget on it.
+                record = base_record(task.job)
+                record.update(kind="failure", attempts=task.attempt,
+                              quarantined=True, failure={
+                                  "kind": "quarantined",
+                                  "message": reason,
+                              })
+                finish(task.index, record)
+                emit(JobFailed(task.job.label, kind="quarantined",
+                               message=reason, attempts=task.attempt))
+                return
         if retryable and task.attempt <= options.retries:
-            delay = options.backoff_s * (2 ** (task.attempt - 1))
+            delay = backoff_delay(task.attempt, options.backoff_s,
+                                  options.backoff_max_s,
+                                  key=task.job.fingerprint)
             emit(JobRetried(task.job.label, attempt=task.attempt,
                             reason=f"{kind}: {message}", delay_s=delay))
             task.attempt += 1
@@ -520,7 +636,7 @@ def run_sweep(
         _run_serial(pending, handle_payload, emit)
     else:
         _run_pooled(pending, workers, options, handle_payload,
-                    fail_or_retry, emit)
+                    fail_or_retry, emit, chaos=chaos)
 
     records = [terminal[i] for i in sorted(terminal)]
     elapsed = time.monotonic() - started
@@ -543,12 +659,22 @@ def _run_serial(pending: list[_Attempt], handle_payload, emit) -> None:
         handle_payload(task, _worker(task.job.to_dict()))
 
 
+def _discard_heartbeat(path: str | None) -> None:
+    if path is None:
+        return
+    try:
+        os.unlink(path)
+    except OSError:  # pragma: no cover - already gone
+        pass
+
+
 def _run_pooled(pending: list[_Attempt], workers: int,
                 options: SweepOptions, handle_payload, fail_or_retry,
-                emit) -> None:
+                emit, chaos: ChaosInjector | None = None) -> None:
     """At most ``workers`` jobs in flight, each in a single-worker pool
     of its own so failure blame and termination are exact."""
     ctx = _mp_context()
+    heartbeat_s = options.heartbeat_s
     in_flight: dict[Future, _Flight] = {}
     try:
         while pending or in_flight:
@@ -563,10 +689,25 @@ def _run_pooled(pending: list[_Attempt], workers: int,
                     max_workers=1, mp_context=ctx,
                     initializer=_worker_init,
                 )
-                future = pool.submit(_worker, task.job.to_dict())
+                action = None
+                if chaos is not None:
+                    action = chaos.worker_action(
+                        task.job.fingerprint, task.attempt,
+                        task.job.label,
+                    )
+                hb_path = None
+                hb_interval = 0.0
+                if heartbeat_s is not None and heartbeat_s > 0.0:
+                    fd, hb_path = tempfile.mkstemp(
+                        prefix="repro-heartbeat-")
+                    os.close(fd)
+                    hb_interval = heartbeat_s / 4.0
+                future = pool.submit(_worker, task.job.to_dict(),
+                                     action, hb_path, hb_interval)
                 in_flight[future] = _Flight(
                     task=task, pool=pool, started=now,
                     deadline=now + task.job.timeout_s,
+                    heartbeat=hb_path,
                 )
             if not in_flight:
                 # Everything pending is backing off; sleep until the
@@ -590,6 +731,26 @@ def _run_pooled(pending: list[_Attempt], workers: int,
                 else:  # pragma: no cover - _worker never raises
                     fail_or_retry(flight.task, "error", str(error), True)
                 _terminate_pool(flight.pool)
+                _discard_heartbeat(flight.heartbeat)
+
+            # Watchdog scan: a worker silent past the heartbeat
+            # deadline is reaped now, charged a retryable crash, and
+            # its pool slot freed — queued jobs keep flowing instead of
+            # waiting out the hung job's full wall-clock budget.
+            if heartbeat_s is not None and heartbeat_s > 0.0:
+                stale = [f for f, fl in in_flight.items()
+                         if fl.heartbeat is not None
+                         and heartbeat_stale(fl.heartbeat, heartbeat_s)]
+                for future in stale:
+                    flight = in_flight.pop(future)
+                    fail_or_retry(
+                        flight.task, "crash",
+                        (f"watchdog: no heartbeat for {heartbeat_s:g}s; "
+                         f"worker killed"),
+                        True,
+                    )
+                    _terminate_pool(flight.pool)
+                    _discard_heartbeat(flight.heartbeat)
 
             # Deadline scan: a hung job gets a timeout record (terminal
             # unless retry_timeouts) and only *its* worker is killed.
@@ -604,6 +765,8 @@ def _run_pooled(pending: list[_Attempt], workers: int,
                     options.retry_timeouts,
                 )
                 _terminate_pool(flight.pool)
+                _discard_heartbeat(flight.heartbeat)
     finally:
         for flight in in_flight.values():  # pragma: no cover - unwind
             _terminate_pool(flight.pool)
+            _discard_heartbeat(flight.heartbeat)

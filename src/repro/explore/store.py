@@ -7,6 +7,19 @@ share one store.  ``load`` tolerates truncated final lines (the one
 partial write a crash can produce) and skips foreign-schema lines rather
 than failing.
 
+Crash-mid-append is handled on *both* sides of the file.  Reading, a
+torn tail is skipped.  Writing, ``append`` first checks that the file
+ends in a newline and repairs it if not — without this, the first
+record written after a crash would be glued onto the torn tail and
+*both* lines would be lost, silently shrinking the resume index
+(``completed_records``) and re-running work ``--resume`` should have
+skipped.  ``compact`` then drops the torn bytes for good while keeping
+every valid record.
+
+The optional ``chaos`` injector (see :mod:`repro.chaos`) simulates
+exactly that crash: a torn append writes only a prefix of the line with
+no newline.  ``chaos=None`` (the default) takes none of these branches.
+
 Aggregation turns raw records into the paper's design-space axes:
 the best-rate frontier per processor count (Figure 11's rate/processor
 trade-off) and utilization versus processor count (Figure 13's bars).
@@ -35,14 +48,37 @@ STORE_SCHEMA = 1
 class ResultStore:
     """An append-only JSONL file of terminal job records."""
 
-    def __init__(self, path: str | os.PathLike[str]) -> None:
+    def __init__(self, path: str | os.PathLike[str], *,
+                 chaos: Any | None = None) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._chaos = chaos
+
+    def _tail_torn(self) -> bool:
+        """Whether the file ends mid-line (a crashed writer's partial
+        append).  Missing and empty files are fine."""
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                return fh.read(1) != b"\n"
+        except (OSError, ValueError):
+            return False
 
     def append(self, record: dict[str, Any]) -> None:
         line = json.dumps({"schema": STORE_SCHEMA, **record}, default=str)
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
+        data = (line + "\n").encode("utf-8")
+        if self._chaos is not None and self._chaos.tear_store_line(
+                str(record.get("fingerprint", ""))):
+            # Injected crash-mid-append: a prefix of the line, no
+            # newline — the write a lost fsync leaves behind.
+            data = data[: max(1, len(data) // 2)]
+        repair = self._tail_torn()
+        with open(self.path, "ab") as fh:
+            if repair:
+                # Close the torn line first so this record is not glued
+                # onto it (and lost with it) — see the module docstring.
+                fh.write(b"\n")
+            fh.write(data)
             fh.flush()
 
     def compact(self, *, rotate_to: str | os.PathLike[str] | None = None,

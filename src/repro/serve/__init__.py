@@ -20,7 +20,7 @@ crash-isolated executor, and one content-addressed cache.
 See ``docs/serving.md`` for the wire protocol and curl transcripts.
 """
 
-from .client import ServiceClient
+from .client import ServiceClient, ServiceUnreachable
 from .http import DEFAULT_PORT, HttpServer, run_service
 from .lifecycle import (
     TERMINAL_STATUSES,
@@ -44,6 +44,7 @@ from .storage import ServiceStorage
 
 __all__ = [
     "ServiceClient",
+    "ServiceUnreachable",
     "DEFAULT_PORT",
     "HttpServer",
     "run_service",

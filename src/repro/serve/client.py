@@ -5,6 +5,22 @@ this class; any other consumer (dashboards, CI) can use it the same
 way.  One ``http.client`` connection per call — the service closes
 connections after each response, and event streams end at EOF right
 after the run's terminal event, so iteration terminates naturally.
+
+Transport failures surface as :class:`ServiceUnreachable` (a
+:class:`~.protocol.ServeError` subclass), and the client heals the
+idempotent ones itself:
+
+* :meth:`_request` retries **GETs only** — a retried POST could
+  double-submit a run or double-cancel; reads are safe to repeat;
+* :meth:`watch` wraps :meth:`events` in a reconnect loop keyed on the
+  ``?since=<seq>`` resumption cursor: a connection reset or a stream
+  cut mid-run resumes exactly after the last envelope seen, so the
+  caller observes every event exactly once, in order, ending at the
+  run's single terminal event — or gets :class:`ServiceUnreachable`
+  once ``reconnects`` consecutive attempts fail without progress.
+
+Backoff between attempts is the same bounded-with-deterministic-jitter
+curve the executor and scheduler use (:func:`repro.chaos.backoff_delay`).
 """
 
 from __future__ import annotations
@@ -12,26 +28,45 @@ from __future__ import annotations
 import http.client
 import json
 import socket
+import time
 from typing import Any, Iterator
 from urllib.parse import urlsplit
 
+from ..chaos.watchdog import backoff_delay
 from .http import DEFAULT_PORT
 from .protocol import ServeError
 
-__all__ = ["ServiceClient"]
+__all__ = ["ServiceClient", "ServiceUnreachable"]
+
+
+class ServiceUnreachable(ServeError):
+    """The service did not answer (refused, reset, or timed out).
+
+    Distinct from other :class:`ServeError`\\ s so callers can tell
+    "the service rejected this" (do not retry) from "the network ate
+    this" (retry may help) without parsing messages.
+    """
 
 
 class ServiceClient:
     """Talk to one ``repro serve`` instance at ``url``."""
 
     def __init__(self, url: str = f"http://127.0.0.1:{DEFAULT_PORT}",
-                 *, timeout_s: float = 30.0) -> None:
+                 *, timeout_s: float = 30.0, retries: int = 2,
+                 backoff_s: float = 0.05, backoff_max_s: float = 1.0,
+                 reconnects: int = 8) -> None:
         parts = urlsplit(url if "//" in url else f"http://{url}")
         if parts.scheme not in ("", "http"):
             raise ServeError(f"only http:// service URLs work, got {url!r}")
         self.host = parts.hostname or "127.0.0.1"
         self.port = parts.port or DEFAULT_PORT
         self.timeout_s = timeout_s
+        #: Extra attempts for idempotent (GET) requests.
+        self.retries = max(0, int(retries))
+        self.backoff_s = backoff_s
+        self.backoff_max_s = backoff_max_s
+        #: Consecutive no-progress stream reconnects before giving up.
+        self.reconnects = max(0, int(reconnects))
 
     # -- plumbing ------------------------------------------------------
 
@@ -41,8 +76,13 @@ class ServiceClient:
             timeout=self.timeout_s if timeout_s is None else timeout_s,
         )
 
-    def _request(self, method: str, path: str,
-                 body: dict[str, Any] | None = None) -> dict[str, Any]:
+    def _unreachable(self, exc: Exception) -> ServiceUnreachable:
+        return ServiceUnreachable(
+            f"service at {self.host}:{self.port} unreachable: {exc}"
+        )
+
+    def _request_once(self, method: str, path: str,
+                      body: dict[str, Any] | None = None) -> dict[str, Any]:
         conn = self._connect()
         try:
             payload = None
@@ -55,9 +95,7 @@ class ServiceClient:
                 response = conn.getresponse()
                 raw = response.read()
             except (ConnectionError, socket.timeout, OSError) as exc:
-                raise ServeError(
-                    f"service at {self.host}:{self.port} unreachable: {exc}"
-                ) from None
+                raise self._unreachable(exc) from None
             try:
                 data = json.loads(raw) if raw else {}
             except json.JSONDecodeError:
@@ -72,6 +110,23 @@ class ServiceClient:
             return data
         finally:
             conn.close()
+
+    def _request(self, method: str, path: str,
+                 body: dict[str, Any] | None = None) -> dict[str, Any]:
+        """One API call; transparently retries transport failures of
+        GETs (idempotent by construction).  POSTs are never retried —
+        re-sending a submit or cancel is not the client's call to make."""
+        attempt = 1
+        while True:
+            try:
+                return self._request_once(method, path, body)
+            except ServiceUnreachable:
+                if method != "GET" or attempt > self.retries:
+                    raise
+                time.sleep(backoff_delay(attempt, self.backoff_s,
+                                         self.backoff_max_s,
+                                         key=f"{method} {path}"))
+                attempt += 1
 
     # -- API -----------------------------------------------------------
 
@@ -100,11 +155,15 @@ class ServiceClient:
 
     def events(self, run_id: str, *, since: int = 0,
                timeout_s: float | None = None) -> Iterator[dict[str, Any]]:
-        """Stream a run's event envelopes; ends after the terminal event.
+        """Stream a run's event envelopes over *one* connection.
 
-        ``timeout_s`` bounds the wait for *each* line, not the whole
-        stream (a sweep can legitimately run for hours); default: no
-        per-line limit.
+        Ends at EOF — normally right after the run's terminal event,
+        but a mid-stream disconnect also just ends the iteration (the
+        torn final line is skipped).  Use :meth:`watch` for the
+        self-healing variant; this one is the single-connection
+        building block.  ``timeout_s`` bounds the wait for *each*
+        line, not the whole stream (a sweep can legitimately run for
+        hours); default: no per-line limit.
         """
         conn = self._connect(timeout_s=timeout_s)
         try:
@@ -113,9 +172,7 @@ class ServiceClient:
                                     f"?since={int(since)}")
                 response = conn.getresponse()
             except (ConnectionError, socket.timeout, OSError) as exc:
-                raise ServeError(
-                    f"service at {self.host}:{self.port} unreachable: {exc}"
-                ) from None
+                raise self._unreachable(exc) from None
             if response.status >= 400:
                 raw = response.read()
                 try:
@@ -124,13 +181,64 @@ class ServiceClient:
                     message = raw[:120].decode("utf-8", "replace")
                 raise ServeError(message or f"events stream -> "
                                             f"{response.status}")
-            for line in response:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    yield json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn line on an ungraceful close
+            try:
+                for line in response:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        yield json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn line on an ungraceful close
+            except (ConnectionError, socket.timeout, OSError):
+                return  # reset mid-stream reads as EOF; watch() resumes
         finally:
             conn.close()
+
+    def watch(self, run_id: str, *, since: int = 0,
+              timeout_s: float | None = None,
+              reconnects: int | None = None) -> Iterator[dict[str, Any]]:
+        """Stream a run's envelopes, auto-reconnecting until terminal.
+
+        Every disconnect — connection refused, reset mid-stream, or a
+        stream that ended without the run's terminal event — is healed
+        by reconnecting with ``?since=<last seq seen>``, so envelopes
+        are yielded exactly once, in seq order.  The reconnect budget
+        (default: the client's ``reconnects``) counts *consecutive*
+        failed attempts: any progress resets it, so a long flaky run
+        is bounded per-outage, not over its lifetime.  Exhausting the
+        budget raises :class:`ServiceUnreachable`; service-level errors
+        (e.g. an unknown run id) propagate immediately.
+        """
+        budget = self.reconnects if reconnects is None else int(reconnects)
+        last = int(since)
+        failures = 0
+        while True:
+            progressed = False
+            try:
+                for envelope in self.events(run_id, since=last,
+                                            timeout_s=timeout_s):
+                    seq = int(envelope.get("seq", 0))
+                    if seq <= last:
+                        continue  # replayed overlap; already yielded
+                    last = seq
+                    progressed = True
+                    failures = 0
+                    yield envelope
+                    if envelope.get("event") == "RunFinished":
+                        return
+                # EOF without the terminal event: the stream was cut
+                # between envelopes — treat like any other disconnect.
+            except ServiceUnreachable:
+                pass
+            if not progressed:
+                failures += 1
+                if failures > budget:
+                    raise ServiceUnreachable(
+                        f"service at {self.host}:{self.port} unreachable: "
+                        f"watch of run {run_id} made no progress after "
+                        f"{failures} attempt(s)"
+                    )
+            time.sleep(backoff_delay(max(1, failures), self.backoff_s,
+                                     self.backoff_max_s,
+                                     key=f"watch {run_id}:{last}"))

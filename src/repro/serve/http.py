@@ -20,6 +20,15 @@ Routes::
 
 ``repro serve`` wires this to a :class:`~.scheduler.SweepService`; see
 ``docs/serving.md`` for curl transcripts.
+
+A :class:`~repro.chaos.ChaosInjector` (optional, ``None`` by default)
+makes the *network* misbehave deterministically: GET requests can be
+answered with a connection reset and event streams can be cut mid-run —
+both keyed on stable identities, so the same ``(spec, seed)`` breaks
+the same requests.  Write paths (POST) are never dropped: a reset POST
+would leave the client unsure whether its submission was admitted, and
+retrying it would duplicate the run — resets therefore only exercise
+the idempotent-read recovery that :meth:`ServiceClient.watch` provides.
 """
 
 from __future__ import annotations
@@ -30,6 +39,8 @@ import signal
 from typing import Any, Awaitable, Callable
 from urllib.parse import parse_qs, urlsplit
 
+from ..chaos.inject import ChaosInjector
+from ..chaos.model import ChaosSpec
 from .protocol import PROTOCOL_VERSION, ServeError
 from .scheduler import ServiceConfig, SweepService
 from .storage import ServiceStorage
@@ -61,12 +72,14 @@ class HttpServer:
     def __init__(self, service: SweepService, *, host: str = "127.0.0.1",
                  port: int = 0,
                  on_shutdown: Callable[[bool], Awaitable[None] | None]
-                 | None = None) -> None:
+                 | None = None,
+                 chaos: ChaosInjector | None = None) -> None:
         self.service = service
         self.host = host
         self.port = port
         self._server: asyncio.base_events.Server | None = None
         self._on_shutdown = on_shutdown
+        self._chaos = chaos
 
     async def start(self) -> tuple[str, int]:
         self._server = await asyncio.start_server(
@@ -94,6 +107,13 @@ class HttpServer:
             try:
                 method, path, query, headers = await self._read_head(reader)
                 body = await self._read_body(reader, headers)
+                if (self._chaos is not None
+                        and self._chaos.drop_request(method, path)):
+                    # Injected connection reset: hard-abort without a
+                    # response, exactly what a dying LB or mid-request
+                    # network partition looks like to the client.
+                    writer.transport.abort()
+                    return
                 await self._route(method, path, query, headers, body, writer)
             except _HttpError as exc:
                 await self._respond(writer, exc.status,
@@ -245,23 +265,42 @@ class HttpServer:
             chunk = f"data: {line}\n\n" if sse else line + "\n"
             writer.write(chunk.encode("utf-8"))
             await writer.drain()
+            if (self._chaos is not None
+                    and self._chaos.break_stream(run_id,
+                                                 int(envelope["seq"]))):
+                # Cut the stream *after* this envelope went out: the
+                # break is keyed on (run, seq), so each one fires once
+                # and a reconnecting client always makes progress.
+                writer.transport.abort()
+                return
 
 
 def run_service(*, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
                 data_dir: str = ".repro-serve",
                 config: ServiceConfig = ServiceConfig(),
-                announce: Callable[[str], None] | None = print) -> int:
+                announce: Callable[[str], None] | None = print,
+                chaos: ChaosSpec | ChaosInjector | None = None) -> int:
     """Blocking entry point behind ``repro serve``.
 
     Runs the scheduler and HTTP front end until ``POST /v1/shutdown``
     or SIGINT/SIGTERM, then drains per the shutdown request (signals
     cancel live runs — a terminal Ctrl-C should exit promptly, and the
     cache makes the interrupted remainder resumable by resubmission).
+
+    ``chaos`` (a :class:`~repro.chaos.ChaosSpec` or an already-built
+    injector) arms fault injection across *every* seam — workers,
+    cache, store, HTTP — through one shared injector, so its decision
+    ledger accounts for the whole instance.
     """
+    injector: ChaosInjector | None = None
+    if isinstance(chaos, ChaosInjector):
+        injector = chaos
+    elif chaos is not None:
+        injector = ChaosInjector(chaos)
 
     async def _main() -> None:
-        storage = ServiceStorage(data_dir)
-        service = SweepService(storage, config)
+        storage = ServiceStorage(data_dir, chaos=injector)
+        service = SweepService(storage, config, chaos=injector)
         done = asyncio.Event()
         drain_mode = {"drain": True}
 
@@ -270,7 +309,8 @@ def run_service(*, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
             done.set()
 
         server = HttpServer(service, host=host, port=port,
-                            on_shutdown=request_shutdown)
+                            on_shutdown=request_shutdown,
+                            chaos=injector)
         await service.start()
         await server.start()
         loop = asyncio.get_running_loop()
@@ -284,6 +324,9 @@ def run_service(*, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
         if announce is not None:
             announce(f"repro serve: listening on {server.url} "
                      f"(data dir {storage.root})")
+            if injector is not None:
+                announce("repro serve: CHAOS ARMED "
+                         f"(seed {injector.spec.seed})")
         await done.wait()
         if announce is not None:
             announce("repro serve: shutting down "

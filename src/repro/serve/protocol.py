@@ -145,12 +145,21 @@ class RunAccepted(RunEvent):
 
 @dataclass(frozen=True, slots=True)
 class RunStateChanged(RunEvent):
-    """The run entered a new non-terminal lifecycle state."""
+    """The run entered a new non-terminal lifecycle state.
+
+    ``reason`` is the machine-readable *why* for states that have more
+    than one path in — e.g. ``CANCELLING`` with reason ``"cancel"``
+    (client request) versus ``"shutdown"`` (service stopping).  Empty
+    for unforced transitions; optional on the wire, so payloads from
+    older producers still decode.
+    """
 
     state: str
+    reason: str = ""
 
     def describe(self) -> str:
-        return f"run {self.run_id}: {self.state}"
+        why = f" ({self.reason})" if self.reason else ""
+        return f"run {self.run_id}: {self.state}{why}"
 
 
 @dataclass(frozen=True, slots=True)

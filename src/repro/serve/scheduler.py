@@ -27,6 +27,16 @@ Invariants (asserted by ``tests/test_serve.py``):
 * cancellation from any non-terminal state reaches ``TERMINAL``;
 * graceful drain: ``stop()`` refuses new submissions, lets in-flight
   work finish (or cancels it), and leaves no run non-terminal.
+
+Supervision (see :mod:`repro.chaos`): ``heartbeat_s`` arms the worker
+watchdog (a hung worker is killed and charged a retryable crash within
+one heartbeat window instead of blocking a slot for its full timeout),
+``quarantine_after`` parks fingerprints that crash-loop that many
+consecutive times with a terminal ``quarantined`` record, and retry
+backoff is bounded at ``backoff_max_s`` with deterministic
+fingerprint-keyed jitter.  A :class:`~repro.chaos.ChaosInjector` passed
+as ``chaos`` injects worker/storage faults to prove all of it; the
+default ``chaos=None`` path is observation-free.
 """
 
 from __future__ import annotations
@@ -40,6 +50,8 @@ import uuid
 from dataclasses import dataclass
 from typing import Any, AsyncIterator, Mapping
 
+from ..chaos.inject import ChaosInjector
+from ..chaos.watchdog import QuarantineLedger, backoff_delay
 from ..explore.events import (
     JobCacheHit,
     JobFailed,
@@ -75,10 +87,18 @@ class ServiceConfig:
     retries: int = 2
     #: Base of the exponential retry backoff, seconds.
     backoff_s: float = 0.1
+    #: Cap on the exponential backoff, seconds (jittered below it).
+    backoff_max_s: float = 5.0
     #: Whether a timed-out job is retried (default: terminal).
     retry_timeouts: bool = False
     #: Cancellation/deadline poll granularity inside a job, seconds.
     poll_s: float = 0.05
+    #: Watchdog heartbeat deadline, seconds; None disarms the watchdog.
+    heartbeat_s: float | None = None
+    #: Consecutive crashes before a fingerprint is quarantined.  A
+    #: resident multi-tenant service defaults this *on*: one poison
+    #: design point must not burn every run's retry budget forever.
+    quarantine_after: int = 3
 
     def resolved_workers(self) -> int:
         return max(1, self.workers)
@@ -106,6 +126,7 @@ class RunHandle:
         self.failed = 0
         self.cancelled = 0
         self.cache_hits = 0
+        self.quarantined = 0
 
     # -- event stream --------------------------------------------------
 
@@ -153,6 +174,8 @@ class RunHandle:
         elif record.get("failure", {}).get("kind") == "cancelled":
             self.cancelled += 1
         else:
+            if record.get("failure", {}).get("kind") == "quarantined":
+                self.quarantined += 1  # a failure, separately counted
             self.failed += 1
 
     @property
@@ -173,6 +196,7 @@ class RunHandle:
             "failed": self.failed,
             "cancelled": self.cancelled,
             "cache_hits": self.cache_hits,
+            "quarantined": self.quarantined,
         }
 
 
@@ -180,9 +204,12 @@ class SweepService:
     """Accept, schedule, execute, and narrate sweeps until told to stop."""
 
     def __init__(self, storage: ServiceStorage,
-                 config: ServiceConfig = ServiceConfig()) -> None:
+                 config: ServiceConfig = ServiceConfig(), *,
+                 chaos: ChaosInjector | None = None) -> None:
         self.storage = storage
         self.config = config
+        self.chaos = chaos
+        self._quarantine = QuarantineLedger(config.quarantine_after)
         self._runs: dict[str, RunHandle] = {}
         #: (-priority, admission seq, run_id, job index) min-heap.
         self._heap: list[tuple[int, int, str, int]] = []
@@ -215,7 +242,7 @@ class SweepService:
         self._accepting = False
         if not drain:
             for run_id in list(self._runs):
-                self.cancel(run_id)
+                self.cancel(run_id, reason="shutdown")
         self._stopping = True
         self._wakeup.set()
         if self._workers:
@@ -264,12 +291,14 @@ class SweepService:
     def runs(self) -> list[RunHandle]:
         return list(self._runs.values())
 
-    def cancel(self, run_id: str) -> RunHandle:
+    def cancel(self, run_id: str, *, reason: str = "cancel") -> RunHandle:
         """Request cancellation; every job reaches a terminal record.
 
         Synchronous on purpose: all it does is flip flags, settle jobs
         no worker has claimed, and let in-flight workers observe their
         cancel events — safe from any point in the event loop.
+        ``reason`` travels on the :class:`RunStateChanged` event so
+        observers can tell a client cancel from a service shutdown.
         """
         handle = self.run(run_id)
         if handle.machine.terminal or handle.cancel_requested:
@@ -277,7 +306,8 @@ class SweepService:
         handle.cancel_requested = True
         handle.machine.advance(RunState.DRAINING)
         handle.emit(RunStateChanged(handle.plan.name, run_id=run_id,
-                                    state=RunState.DRAINING.value))
+                                    state=RunState.DRAINING.value,
+                                    reason=reason))
         for flag in handle.cancel_flags.values():
             flag.set()
         for index in range(handle.plan.total):
@@ -380,6 +410,16 @@ class SweepService:
             self._maybe_finish_run(handle)
             return
 
+        parked = self._quarantine.reason(fingerprint)
+        if parked is not None:
+            # A fingerprint that crash-looped past its budget in *any*
+            # run is parked service-wide: terminal record, no execution,
+            # no retry budget spent.
+            self._finish_job_quarantined(handle, index, parked,
+                                         attempts=0)
+            self._maybe_finish_run(handle)
+            return
+
         await self._execute(handle, index, job, fingerprint)
         self._maybe_finish_run(handle)
 
@@ -412,11 +452,19 @@ class SweepService:
         try:
             while True:
                 handle.emit(JobStarted(job.label, attempt=attempt))
+                chaos_action = None
+                if self.chaos is not None:
+                    chaos_action = self.chaos.worker_action(
+                        fingerprint, attempt, job.label,
+                    )
                 payload = await asyncio.to_thread(
                     run_job_isolated, job, cancel=flag,
                     poll_s=self.config.poll_s,
+                    heartbeat_s=self.config.heartbeat_s,
+                    chaos_action=chaos_action,
                 )
                 if payload.get("ok"):
+                    self._quarantine.clear(fingerprint)
                     record = self._base_record(handle, job, fingerprint)
                     record.update(kind="result", attempts=attempt,
                                   stats=payload["stats"])
@@ -439,17 +487,48 @@ class SweepService:
                 if kind == "cancelled":
                     self._finish_job_cancelled(handle, index, message)
                     return
+                if flag.is_set() or handle.cancel_requested:
+                    # Cancel raced the failure — e.g. the watchdog
+                    # killed the worker in the same poll window the
+                    # cancel flag went up, so the payload reads
+                    # "crash".  The user asked for cancellation:
+                    # honouring the crash with a retry would resurrect
+                    # a cancelled job (and its run) from the dead.
+                    self._finish_job_cancelled(
+                        handle, index,
+                        f"cancelled during attempt ({kind}: {message})",
+                    )
+                    return
+                if kind == "crash":
+                    parked = self._quarantine.record_crash(fingerprint,
+                                                           message)
+                    if parked is not None:
+                        self._finish_job_quarantined(handle, index,
+                                                     parked,
+                                                     attempts=attempt)
+                        return
                 retryable = bool(payload.get("retryable", False)) or (
                     kind == "timeout" and self.config.retry_timeouts
                 )
                 if retryable and attempt <= self.config.retries:
-                    delay = self.config.backoff_s * (2 ** (attempt - 1))
+                    delay = backoff_delay(attempt, self.config.backoff_s,
+                                          self.config.backoff_max_s,
+                                          key=fingerprint)
                     handle.emit(JobRetried(job.label, attempt=attempt,
                                            reason=f"{kind}: {message}",
                                            delay_s=delay))
                     attempt += 1
-                    await asyncio.sleep(delay)
-                    if handle.cancel_requested:
+                    # Sleep in poll_s slices so a cancel arriving
+                    # mid-backoff settles the job within one slice
+                    # instead of after the full (possibly capped but
+                    # multi-second) delay.
+                    slept = 0.0
+                    while (slept < delay and not flag.is_set()
+                            and not handle.cancel_requested):
+                        step = min(self.config.poll_s, delay - slept)
+                        await asyncio.sleep(step)
+                        slept += step
+                    if flag.is_set() or handle.cancel_requested:
                         self._finish_job_cancelled(
                             handle, index, "cancelled during retry backoff"
                         )
@@ -468,7 +547,7 @@ class SweepService:
 
     def _base_record(self, handle: RunHandle, job: Job,
                      fingerprint: str) -> dict[str, Any]:
-        return {
+        record = {
             "result_schema": RESULT_SCHEMA,
             "sweep": job.sweep,
             "run": handle.plan.run_id,
@@ -478,6 +557,11 @@ class SweepService:
             "fingerprint": fingerprint,
             "job": job.to_dict(),
         }
+        if self.chaos is not None:
+            # Results produced under injected faults are marked so an
+            # analysis never mistakes a chaos run for a clean one.
+            record["chaos"] = True
+        return record
 
     def _finish_job_failed(self, handle: RunHandle, index: int, kind: str,
                            message: str, *, attempts: int) -> None:
@@ -495,6 +579,22 @@ class SweepService:
                               message: str) -> None:
         self._finish_job_failed(handle, index, "cancelled", message,
                                 attempts=1)
+
+    def _finish_job_quarantined(self, handle: RunHandle, index: int,
+                                reason: str, *, attempts: int) -> None:
+        """Terminal ``quarantined`` record: the poison-job parking slot.
+
+        ``attempts=0`` means the fingerprint was already parked and this
+        job never executed at all."""
+        job = handle.plan.jobs[index]
+        record = self._base_record(handle, job,
+                                   handle.plan.fingerprints[index])
+        record.update(kind="failure", attempts=attempts, quarantined=True,
+                      failure={"kind": "quarantined", "message": reason})
+        self.storage.store.append(record)
+        handle.finish_job(index, record)
+        handle.emit(JobFailed(job.label, kind="quarantined",
+                              message=reason, attempts=attempts))
 
     def _maybe_finish_run(self, handle: RunHandle) -> None:
         if handle.machine.terminal or handle.done != handle.plan.total:

@@ -15,6 +15,11 @@ explore`` path uses — which is the whole resumability story: a service
 restart loses only in-memory state, and resubmitting a spec finds every
 completed job's fingerprint already cached and executes just the
 remainder.  Nothing here is service-private magic.
+
+The optional ``chaos`` injector (see :mod:`repro.chaos`) is threaded
+through to both: the cache then corrupts or truncates entries at write
+time and the store tears appends, exercising exactly the recovery paths
+(checksum quarantine, torn-tail repair) that real disk failures need.
 """
 
 from __future__ import annotations
@@ -33,11 +38,12 @@ __all__ = ["ServiceStorage"]
 class ServiceStorage:
     """All durable state of one service instance."""
 
-    def __init__(self, root: str | os.PathLike[str]) -> None:
+    def __init__(self, root: str | os.PathLike[str], *,
+                 chaos: Any | None = None) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
-        self.cache = ResultCache(self.root / "cache")
-        self.store = ResultStore(self.root / "results.jsonl")
+        self.cache = ResultCache(self.root / "cache", chaos=chaos)
+        self.store = ResultStore(self.root / "results.jsonl", chaos=chaos)
         self.runs_path = self.root / "runs.jsonl"
         self.events_dir = self.root / "events"
         self.events_dir.mkdir(exist_ok=True)
