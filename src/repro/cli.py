@@ -14,6 +14,7 @@
     python -m repro submit sweep.json --watch # run a sweep on the service
     python -m repro watch RUN_ID              # stream a run's events
     python -m repro jobs                      # list the service's runs
+    python -m repro dash --data-dir .repro-serve  # metrics web dashboard
     python -m repro chaos --seed 7            # fault-injection scenario matrix
 
 ``simulate``, ``schedule``, ``suite``, and ``explore`` take ``--json``
@@ -499,25 +500,49 @@ def _serve_client(args: argparse.Namespace):
     return ServiceClient(args.url)
 
 
+#: Envelope types after which the watch progress line is re-printed
+#: (the job-terminal events plus the run's own terminal event).
+_PROGRESS_EVENTS = frozenset(
+    {"JobCacheHit", "JobFinished", "JobFailed", "RunFinished"}
+)
+
+
 def _stream_run(client, run_id: str, as_json: bool) -> int:
     """Render a run's event stream; exit 0 iff it ends ``succeeded``.
 
     Uses the self-healing :meth:`ServiceClient.watch`: a connection
     reset mid-run resumes from the last envelope seen instead of
     silently truncating the stream (and misreporting the exit code).
+    Human output folds the same envelopes through the dashboard's
+    :class:`~repro.dash.MetricsAggregator` and prints a progress line
+    (``done/total jobs, pct, jobs/s``) after each terminal job event —
+    the fold, not raw envelope arithmetic, decides the numbers.
     """
     from .serve import decode_event
 
+    aggregator = None
+    if not as_json:
+        from .dash import MetricsAggregator
+
+        aggregator = MetricsAggregator()
+    started = time.monotonic()
     status = None
     for envelope in client.watch(run_id):
         if as_json:
             print(json.dumps(envelope))
         else:
+            aggregator.envelope(envelope)
             try:
                 print(decode_event(envelope).describe())
             except ValueError:
                 # Newer service, unknown event type: show, don't die.
                 print(json.dumps(envelope))
+            if envelope.get("event") in _PROGRESS_EVENTS:
+                line = aggregator.progress_line(
+                    run_id, elapsed_s=time.monotonic() - started,
+                )
+                if line is not None:
+                    print(f"  {line}")
         if envelope.get("event") == "RunFinished":
             status = envelope.get("status")
     return 0 if status == "succeeded" else 1
@@ -545,7 +570,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
             quarantine_after=args.quarantine_after,
         ),
         chaos=chaos,
+        dashboard=args.dashboard,
     )
+
+
+def cmd_dash(args: argparse.Namespace) -> int:
+    from .dash import MetricsAggregator, serve_dashboard
+
+    if args.snapshot:
+        aggregator = MetricsAggregator.from_data_dir(args.data_dir)
+        print(aggregator.snapshot().canonical())
+        return 0
+    return serve_dashboard(args.data_dir, host=args.host, port=args.port)
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -796,6 +832,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chaos-seed", type=int, default=None,
                    dest="chaos_seed", metavar="N",
                    help="override the chaos spec's seed")
+    p.add_argument("--dashboard", action="store_true",
+                   help="aggregate live metrics and serve GET /v1/metrics "
+                        "+ the /v1/dashboard web page (see "
+                        "docs/dashboard.md)")
+
+    p = sub.add_parser(
+        "dash",
+        help="serve the metrics dashboard over a sweep data dir, "
+             "no scheduler needed (see docs/dashboard.md)",
+    )
+    p.add_argument("--data-dir", default=".repro-serve", dest="data_dir",
+                   help="service data dir to aggregate (event logs + "
+                        "JSONL store)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="listening port (0 = ephemeral)")
+    p.add_argument("--snapshot", action="store_true",
+                   help="print the canonical JSON metrics snapshot and "
+                        "exit instead of serving")
 
     p = sub.add_parser(
         "chaos",
@@ -857,6 +912,7 @@ _COMMANDS = {
     "suite": cmd_suite,
     "explore": cmd_explore,
     "serve": cmd_serve,
+    "dash": cmd_dash,
     "chaos": cmd_chaos,
     "submit": cmd_submit,
     "watch": cmd_watch,

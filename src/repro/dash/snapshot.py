@@ -1,0 +1,101 @@
+"""The deterministic product of metrics aggregation.
+
+A :class:`DashSnapshot` is everything the dashboard (or a CI assertion)
+needs to render one moment of a service's life: per-run job states and
+counters, throughput, cache economics, the Figure 11 frontier, and the
+Figure 13 utilization bars.  It is **plain data by construction** — no
+wall-clock reads, no object references — so the same event stream folds
+to the same snapshot whether it was observed live (the in-process
+subscriber seam on :class:`~repro.serve.scheduler.SweepService`) or
+replayed offline from the data dir's NDJSON event logs.  The acceptance
+test pins exactly that: live terminal snapshot == offline replay,
+compared as canonical JSON.
+
+Throughput is derived from ``RunFinished.elapsed_s`` — the one duration
+that travels *in* the event stream — never from the aggregator's own
+clock, which is what keeps live and offline folds bit-identical.  A run
+that has not finished reports ``null`` rates; live progress rates (the
+``repro watch`` progress line) are computed by the *caller* against its
+own wall clock via :meth:`~repro.dash.aggregate.MetricsAggregator.progress`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["DASH_SCHEMA", "DashSnapshot", "canonical_json"]
+
+#: Version of the snapshot payload served at ``GET /v1/metrics``.
+DASH_SCHEMA = 1
+
+
+def canonical_json(data: Any) -> str:
+    """One canonical serialization: sorted keys, no whitespace.
+
+    Two snapshots are *the same* iff their canonical JSON matches —
+    the comparison form of the live-equals-offline acceptance test and
+    of the CI smoke job's artifact.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"),
+                      default=str)
+
+
+@dataclass(slots=True)
+class DashSnapshot:
+    """One deterministic moment of aggregated service state."""
+
+    #: Per-run summaries, sorted by run id (see ``MetricsAggregator``).
+    runs: list[dict[str, Any]] = field(default_factory=list)
+    #: Fleet-wide counters summed over every run.
+    totals: dict[str, Any] = field(default_factory=dict)
+    #: Best achieved rate per (app, processor count) — Figure 11 axes.
+    frontier: list[dict[str, Any]] = field(default_factory=list)
+    #: Mean utilization per processor count — Figure 13 axes.
+    utilization_by_processors: list[dict[str, Any]] = field(
+        default_factory=list
+    )
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe payload of ``GET /v1/metrics``."""
+        return {
+            "dash_schema": DASH_SCHEMA,
+            "totals": self.totals,
+            "runs": self.runs,
+            "frontier": self.frontier,
+            "utilization_by_processors": self.utilization_by_processors,
+        }
+
+    def canonical(self) -> str:
+        return canonical_json(self.as_dict())
+
+    def run(self, run_id: str) -> dict[str, Any] | None:
+        for entry in self.runs:
+            if entry.get("run") == run_id:
+                return entry
+        return None
+
+    def describe(self) -> str:
+        """Terminal-friendly one-screen summary (``repro dash --text``)."""
+        t = self.totals
+        lines = [
+            f"{t.get('runs', 0)} run(s), {t.get('active', 0)} active | "
+            f"jobs {t.get('done', 0)}/{t.get('jobs', 0)}: "
+            f"{t.get('succeeded', 0)} ok, {t.get('failed', 0)} failed, "
+            f"{t.get('cancelled', 0)} cancelled, "
+            f"{t.get('cache_hits', 0)} from cache"
+        ]
+        ratio = t.get("cache_hit_ratio")
+        if ratio is not None:
+            lines.append(f"cache hit ratio: {ratio:.1%}")
+        for entry in self.runs:
+            status = entry.get("status") or entry.get("state") or "?"
+            rate = entry.get("jobs_per_s")
+            rate_text = f", {rate:.2f} jobs/s" if rate else ""
+            lines.append(
+                f"  {entry['run']:>12} | {entry.get('name', '?'):>16} "
+                f"| {status:>9} | {entry.get('done', 0)}"
+                f"/{entry.get('total', 0)} job(s){rate_text}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Standalone dashboard server over a service data dir.
+
+``repro dash`` serves the same ``/v1/metrics`` + ``/v1/dashboard``
+surface as ``repro serve --dashboard``, but with no scheduler behind it:
+every metrics request re-folds the data dir (per-run NDJSON event logs
+plus ``results.jsonl``) through :class:`~.aggregate.MetricsAggregator`.
+That makes it useful both post-mortem — point it at a completed sweep's
+directory — and quasi-live, watching a directory another ``repro
+serve``/``repro explore`` process is still writing, without touching
+that process at all.
+
+Built on ``http.server.ThreadingHTTPServer`` (stdlib, blocking, one
+thread per request) because there is no asyncio service to share a loop
+with here.  The live path stays on the asyncio front end in
+:mod:`repro.serve.http`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+from .aggregate import MetricsAggregator
+from .page import dashboard_page
+
+__all__ = ["DashServer", "serve_dashboard"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    #: Set by :class:`DashServer` on the handler class it instantiates.
+    data_dir: str = "."
+
+    def _send(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = (json.dumps(payload, default=str) + "\n").encode("utf-8")
+        self._send(status, "application/json", body)
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/healthz":
+                from .. import __version__
+
+                self._send_json(200, {
+                    "ok": True,
+                    "mode": "dash",
+                    "version": __version__,
+                    "data_dir": str(self.data_dir),
+                })
+            elif path == "/v1/metrics":
+                # Re-fold per request: the dir may still be growing.
+                aggregator = MetricsAggregator.from_data_dir(self.data_dir)
+                self._send_json(200, aggregator.snapshot().as_dict())
+            elif path in ("/", "/v1/dashboard"):
+                self._send(200, "text/html; charset=utf-8",
+                           dashboard_page().encode("utf-8"))
+            else:
+                self._send_json(404, {"error": f"no route GET {path}"})
+        except BrokenPipeError:
+            pass  # client went away mid-response
+        except Exception as exc:  # noqa: BLE001 - boundary
+            try:
+                self._send_json(500, {
+                    "error": f"{type(exc).__name__}: {exc}",
+                })
+            except OSError:
+                pass
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # no per-request stderr chatter
+
+
+class DashServer:
+    """A standalone dashboard server bound to one data dir."""
+
+    def __init__(self, data_dir: str | os.PathLike[str], *,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        handler = type("_BoundHandler", (_Handler,),
+                       {"data_dir": str(data_dir)})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._serving = False
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`close`/SIGINT."""
+        self._serving = True
+        self._httpd.serve_forever(poll_interval=0.2)
+
+    def start(self) -> "DashServer":
+        """Serve on a background daemon thread; returns ``self``."""
+        self._serving = True
+        threading.Thread(target=self._httpd.serve_forever,
+                         kwargs={"poll_interval": 0.2},
+                         daemon=True).start()
+        return self
+
+    def close(self) -> None:
+        # shutdown() deadlocks unless serve_forever ran; a server that
+        # only ever bound its socket just closes it.
+        if self._serving:
+            self._httpd.shutdown()
+        self._httpd.server_close()
+
+
+def serve_dashboard(data_dir: str | os.PathLike[str], *,
+                    host: str = "127.0.0.1", port: int = 0,
+                    announce: Callable[[str], None] | None = print) -> int:
+    """Blocking entry point behind ``repro dash``.
+
+    Serves until SIGINT; returns 0 on a clean keyboard interrupt.
+    """
+    server = DashServer(data_dir, host=host, port=port)
+    if announce is not None:
+        announce(f"repro dash: dashboard at {server.url}/v1/dashboard "
+                 f"(data dir {data_dir})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0

@@ -16,6 +16,7 @@ from .critical_path import (
 from .export import (
     spans_jsonl,
     timeline,
+    timeline_rows,
     to_perfetto,
     validate_perfetto,
     write_perfetto,
@@ -48,6 +49,7 @@ __all__ = [
     "spans_jsonl",
     "write_spans_jsonl",
     "timeline",
+    "timeline_rows",
     "Counter",
     "Gauge",
     "Histogram",

@@ -47,6 +47,7 @@ __all__ = [
     "spans_jsonl",
     "write_spans_jsonl",
     "timeline",
+    "timeline_rows",
 ]
 
 #: Process ids used in the export.
@@ -248,6 +249,37 @@ def write_spans_jsonl(telemetry: Telemetry, path_or_file: str | IO[str]) -> int:
         path_or_file.write(line + "\n")
         count += 1
     return count
+
+
+def timeline_rows(telemetry: Telemetry) -> list[dict]:
+    """Structured Gantt rows: one JSON-safe row per processing element.
+
+    The machine-readable counterpart of :func:`timeline` — same firing
+    spans, but as plain data a renderer (the ``repro.dash`` page, a
+    notebook) can draw without re-parsing text.  Off-chip boundary
+    firings (``processor is None``) are excluded, exactly as the text
+    Gantt excludes them; rows are sorted by processing element and
+    segments keep collector emission order, so identical telemetry
+    yields identical rows.
+    """
+    by_pe: dict[int, list[dict]] = {}
+    for span in telemetry.firing_spans():
+        if span.processor is None:
+            continue
+        by_pe.setdefault(span.processor, []).append({
+            "kernel": span.kernel,
+            "method": span.method,
+            "start_s": span.start_s,
+            "duration_s": span.duration_s,
+        })
+    return [
+        {
+            "processor": pe,
+            "busy_s": sum(seg["duration_s"] for seg in segments),
+            "segments": segments,
+        }
+        for pe, segments in sorted(by_pe.items())
+    ]
 
 
 def timeline(telemetry: Telemetry, *, width: int = 80,

@@ -133,6 +133,15 @@ class ServiceClient:
     def health(self) -> dict[str, Any]:
         return self._request("GET", "/healthz")
 
+    def metrics(self) -> dict[str, Any]:
+        """The aggregated ``DashSnapshot`` payload of ``/v1/metrics``.
+
+        Idempotent read: transport failures retry with the same
+        bounded-backoff policy as every other GET.  A service running
+        without ``--dashboard`` answers 404, which surfaces as a plain
+        :class:`~.protocol.ServeError` (do not retry)."""
+        return self._request("GET", "/v1/metrics")
+
     def submit(self, spec: dict[str, Any], *, priority: int = 0,
                tenant: str = "") -> dict[str, Any]:
         """Submit a sweep spec; returns the accepted run's info dict."""

@@ -9,13 +9,18 @@ right after the run's single terminal event.
 
 Routes::
 
-    GET  /healthz                     service liveness + queue summary
+    GET  /healthz                     liveness, version, uptime, queue
     GET  /v1/runs                     all runs (live + this process)
     POST /v1/runs                     submit {"spec": {...}, "priority": n}
     GET  /v1/runs/<id>                one run's info
     GET  /v1/runs/<id>/events?since=N stream events as NDJSON
-                                      (or SSE with Accept: text/event-stream)
+                                      (or SSE with Accept: text/event-stream;
+                                      SSE frames carry ``id:`` and honour
+                                      ``Last-Event-ID`` on reconnect)
     POST /v1/runs/<id>/cancel         request cancellation
+    GET  /v1/metrics                  aggregated DashSnapshot (404 unless
+                                      the service runs with --dashboard)
+    GET  /v1/dashboard                the single-file HTML dashboard
     POST /v1/shutdown                 {"drain": true|false} then exit
 
 ``repro serve`` wires this to a :class:`~.scheduler.SweepService`; see
@@ -73,13 +78,18 @@ class HttpServer:
                  port: int = 0,
                  on_shutdown: Callable[[bool], Awaitable[None] | None]
                  | None = None,
-                 chaos: ChaosInjector | None = None) -> None:
+                 chaos: ChaosInjector | None = None,
+                 metrics: Any | None = None) -> None:
         self.service = service
         self.host = host
         self.port = port
         self._server: asyncio.base_events.Server | None = None
         self._on_shutdown = on_shutdown
         self._chaos = chaos
+        #: The service's MetricsAggregator when the dashboard is on;
+        #: ``None`` (the default) keeps /v1/metrics and /v1/dashboard
+        #: off — the same gating seam as chaos.
+        self._metrics = metrics
 
     async def start(self) -> tuple[str, int]:
         self._server = await asyncio.start_server(
@@ -183,18 +193,55 @@ class HttpServer:
         writer.write(head.encode("latin-1") + body)
         await writer.drain()
 
+    async def _respond_html(self, writer: asyncio.StreamWriter,
+                            document: str) -> None:
+        body = document.encode("utf-8")
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/html; charset=utf-8\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Cache-Control: no-store\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
     # -- routing -------------------------------------------------------
 
     async def _route(self, method: str, path: str, query: dict[str, str],
                      headers: dict[str, str], body: dict[str, Any],
                      writer: asyncio.StreamWriter) -> None:
         if path == "/healthz" and method == "GET":
+            from .. import __version__
+
             await self._respond(writer, 200, {
                 "ok": True,
                 "protocol": PROTOCOL_VERSION,
+                "version": __version__,
                 "accepting": self.service.accepting,
                 "runs": len(self.service.runs()),
+                "started_at": getattr(self.service, "started_at", None),
+                "uptime_s": getattr(self.service, "uptime_s", None),
             })
+            return
+        if path == "/v1/metrics" and method == "GET":
+            if self._metrics is None:
+                raise _HttpError(
+                    404, "metrics are off; start the service with "
+                         "--dashboard (or use `repro dash` offline)"
+                )
+            await self._respond(writer, 200,
+                                self._metrics.snapshot().as_dict())
+            return
+        if path in ("/", "/v1/dashboard") and method == "GET":
+            if self._metrics is None:
+                raise _HttpError(
+                    404, "the dashboard is off; start the service with "
+                         "--dashboard (or use `repro dash` offline)"
+                )
+            from ..dash.page import dashboard_page
+
+            await self._respond_html(writer, dashboard_page())
             return
         if path == "/v1/runs":
             if method == "POST":
@@ -250,6 +297,15 @@ class HttpServer:
             since = int(query.get("since", "0"))
         except ValueError:
             raise _HttpError(400, "'since' must be an integer") from None
+        # A reconnecting EventSource resumes via the Last-Event-ID
+        # header (we stamp each SSE frame with ``id: <seq>``); it
+        # composes with ?since= as a second cursor — the later wins.
+        last_id = headers.get("last-event-id", "")
+        if last_id:
+            try:
+                since = max(since, int(last_id))
+            except ValueError:
+                pass  # a foreign id scheme; fall back to ?since=
         sse = "text/event-stream" in headers.get("accept", "")
         content_type = ("text/event-stream" if sse
                         else "application/x-ndjson")
@@ -262,7 +318,8 @@ class HttpServer:
         await writer.drain()
         async for envelope in self.service.watch(run_id, since=since):
             line = json.dumps(envelope, default=str)
-            chunk = f"data: {line}\n\n" if sse else line + "\n"
+            chunk = (f"id: {int(envelope['seq'])}\ndata: {line}\n\n"
+                     if sse else line + "\n")
             writer.write(chunk.encode("utf-8"))
             await writer.drain()
             if (self._chaos is not None
@@ -279,7 +336,8 @@ def run_service(*, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
                 data_dir: str = ".repro-serve",
                 config: ServiceConfig = ServiceConfig(),
                 announce: Callable[[str], None] | None = print,
-                chaos: ChaosSpec | ChaosInjector | None = None) -> int:
+                chaos: ChaosSpec | ChaosInjector | None = None,
+                dashboard: bool = False) -> int:
     """Blocking entry point behind ``repro serve``.
 
     Runs the scheduler and HTTP front end until ``POST /v1/shutdown``
@@ -297,10 +355,19 @@ def run_service(*, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
         injector = chaos
     elif chaos is not None:
         injector = ChaosInjector(chaos)
+    metrics = None
+    if dashboard:
+        # Lazy: a dashboard-free service never imports repro.dash, and
+        # the observer seam stays None — observation-free by the same
+        # contract as chaos=None.
+        from ..dash import MetricsAggregator
+
+        metrics = MetricsAggregator()
 
     async def _main() -> None:
         storage = ServiceStorage(data_dir, chaos=injector)
-        service = SweepService(storage, config, chaos=injector)
+        service = SweepService(storage, config, chaos=injector,
+                               observer=metrics)
         done = asyncio.Event()
         drain_mode = {"drain": True}
 
@@ -310,7 +377,7 @@ def run_service(*, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
 
         server = HttpServer(service, host=host, port=port,
                             on_shutdown=request_shutdown,
-                            chaos=injector)
+                            chaos=injector, metrics=metrics)
         await service.start()
         await server.start()
         loop = asyncio.get_running_loop()
@@ -324,6 +391,9 @@ def run_service(*, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
         if announce is not None:
             announce(f"repro serve: listening on {server.url} "
                      f"(data dir {storage.root})")
+            if metrics is not None:
+                announce(f"repro serve: dashboard at "
+                         f"{server.url}/v1/dashboard")
             if injector is not None:
                 announce("repro serve: CHAOS ARMED "
                          f"(seed {injector.spec.seed})")

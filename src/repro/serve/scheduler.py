@@ -107,10 +107,16 @@ class ServiceConfig:
 class RunHandle:
     """Live view of one run: plan, lifecycle, events, terminal records."""
 
-    def __init__(self, plan: SweepPlan, storage: ServiceStorage) -> None:
+    def __init__(self, plan: SweepPlan, storage: ServiceStorage, *,
+                 observer: Any | None = None) -> None:
         self.plan = plan
         self.machine = RunStateMachine()
         self._storage = storage
+        #: Optional in-process metrics consumer (``envelope``/``record``
+        #: methods — see :class:`repro.dash.MetricsAggregator`).  Gated
+        #: ``is not None`` like faults/telemetry/chaos: the default
+        #: ``None`` path is observation-free.
+        self._observer = observer
         self._started = time.monotonic()
         #: Wire envelopes, in emission order (``seq`` is 1-based).
         self.events: list[dict[str, Any]] = []
@@ -135,6 +141,11 @@ class RunHandle:
                                 run_id=self.plan.run_id)
         self.events.append(envelope)
         self._storage.append_event(self.plan.run_id, envelope)
+        if self._observer is not None:
+            # After persistence, before fan-out: the observer sees
+            # exactly the envelopes an offline replay of the event log
+            # reads back, in the same order.
+            self._observer.envelope(envelope)
         closing = isinstance(event, RunFinished)
         for queue in self._subscribers:
             queue.put_nowait(envelope)
@@ -177,6 +188,12 @@ class RunHandle:
             if record.get("failure", {}).get("kind") == "quarantined":
                 self.quarantined += 1  # a failure, separately counted
             self.failed += 1
+        if self._observer is not None:
+            # The one-terminal-record-per-job narrowest point: every
+            # record — executed, failed, or cache hit — passes exactly
+            # once, in the same synchronous block as its store append,
+            # so the live fold order equals the ``results.jsonl`` order.
+            self._observer.record(record)
 
     @property
     def done(self) -> int:
@@ -205,10 +222,19 @@ class SweepService:
 
     def __init__(self, storage: ServiceStorage,
                  config: ServiceConfig = ServiceConfig(), *,
-                 chaos: ChaosInjector | None = None) -> None:
+                 chaos: ChaosInjector | None = None,
+                 observer: Any | None = None) -> None:
         self.storage = storage
         self.config = config
         self.chaos = chaos
+        #: Metrics consumer threaded into every run handle (see
+        #: :class:`RunHandle`); ``None`` keeps the service observation-
+        #: free, the same contract as ``chaos=None``.
+        self.observer = observer
+        #: Wall-clock service start (``/healthz`` ``started_at``); None
+        #: until :meth:`start`.
+        self.started_at: float | None = None
+        self._started_mono: float | None = None
         self._quarantine = QuarantineLedger(config.quarantine_after)
         self._runs: dict[str, RunHandle] = {}
         #: (-priority, admission seq, run_id, job index) min-heap.
@@ -225,6 +251,8 @@ class SweepService:
     # -- lifecycle of the service itself -------------------------------
 
     async def start(self) -> None:
+        self.started_at = time.time()
+        self._started_mono = time.monotonic()
         count = self.config.resolved_workers()
         self._workers = [
             asyncio.create_task(self._worker_loop(), name=f"sweep-worker-{i}")
@@ -253,6 +281,13 @@ class SweepService:
     def accepting(self) -> bool:
         return self._accepting
 
+    @property
+    def uptime_s(self) -> float | None:
+        """Seconds since :meth:`start`, monotonic; None before start."""
+        if self._started_mono is None:
+            return None
+        return time.monotonic() - self._started_mono
+
     # -- the public API the HTTP layer calls ---------------------------
 
     async def submit(self, spec_data: Mapping[str, Any], *,
@@ -266,7 +301,7 @@ class SweepService:
             SweepPlan.compile, dict(spec_data), run_id=run_id,
             tenant=tenant, priority=priority, created=time.time(),
         )
-        handle = RunHandle(plan, self.storage)
+        handle = RunHandle(plan, self.storage, observer=self.observer)
         self._runs[run_id] = handle
         handle.emit(RunAccepted(plan.name, run_id=run_id, total=plan.total,
                                 priority=plan.priority, tenant=plan.tenant))

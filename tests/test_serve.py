@@ -712,6 +712,7 @@ class _LiveService:
     """The real ``run_service`` loop on a background thread."""
 
     def __init__(self, data_dir, **knobs):
+        dashboard = knobs.pop("dashboard", False)
         knobs.setdefault("workers", 2)
         knobs.setdefault("poll_s", 0.02)
         self._urls: queue.Queue[str] = queue.Queue()
@@ -719,7 +720,7 @@ class _LiveService:
             target=run_service,
             kwargs=dict(host="127.0.0.1", port=0, data_dir=str(data_dir),
                         config=ServiceConfig(**knobs),
-                        announce=self._announce),
+                        announce=self._announce, dashboard=dashboard),
             daemon=True,
         )
 
@@ -875,6 +876,123 @@ class TestHttpEndToEnd:
             while time.monotonic() < deadline and live.thread.is_alive():
                 time.sleep(0.05)
             assert not live.thread.is_alive()
+
+
+# ---------------------------------------------------------------------------
+# SSE framing, healthz metadata, and the dashboard gating seam
+
+
+def _sse_get(client, path, *, headers=None):
+    """Raw SSE GET; returns (response headers dict, decoded body)."""
+    conn = http.client.HTTPConnection(client.host, client.port, timeout=30)
+    try:
+        conn.request("GET", path,
+                     headers={"Accept": "text/event-stream",
+                              **(headers or {})})
+        response = conn.getresponse()
+        return dict(response.getheaders()), response.read().decode("utf-8")
+    finally:
+        conn.close()
+
+
+def _sse_frames(body):
+    """Parse ``id:``/``data:`` SSE frames; body must end frame-aligned."""
+    frames = []
+    for chunk in body.split("\n\n"):
+        if not chunk.strip():
+            continue
+        frame = {}
+        for line in chunk.splitlines():
+            field, _, value = line.partition(": ")
+            frame[field] = value
+        frames.append(frame)
+    return frames
+
+
+class TestSseFraming:
+    def test_frames_carry_ids_and_align_on_blank_lines(self, live):
+        client = ServiceClient(live.url)
+        info = client.submit(SPEC, tenant="sse-frames")
+        plain = list(client.events(info["run"]))  # run to terminal
+
+        headers, body = _sse_get(client, f"/v1/runs/{info['run']}/events")
+        assert headers["Content-Type"] == "text/event-stream"
+        # Every frame is exactly `id: <seq>\ndata: <json>\n\n` and the
+        # stream ends on a frame boundary (no torn trailing frame).
+        assert body.endswith("\n\n")
+        frames = _sse_frames(body)
+        assert len(frames) == len(plain)
+        for frame, envelope in zip(frames, plain):
+            assert set(frame) == {"id", "data"}
+            assert int(frame["id"]) == envelope["seq"]
+            assert json.loads(frame["data"]) == envelope
+        assert json.loads(frames[-1]["data"])["event"] == "RunFinished"
+
+    def test_since_and_last_event_id_resume(self, live):
+        client = ServiceClient(live.url)
+        info = client.submit(SPEC, tenant="sse-resume")
+        plain = list(client.events(info["run"]))
+        cut = plain[2]["seq"]
+
+        # ?since= resumes after the cursor, as for the NDJSON stream.
+        _, body = _sse_get(client,
+                           f"/v1/runs/{info['run']}/events?since={cut}")
+        ids = [int(f["id"]) for f in _sse_frames(body)]
+        assert ids == [e["seq"] for e in plain if e["seq"] > cut]
+
+        # Last-Event-ID (what EventSource sends on reconnect) does the
+        # same, and the later of the two cursors wins when both appear.
+        _, body = _sse_get(client, f"/v1/runs/{info['run']}/events",
+                           headers={"Last-Event-ID": str(cut)})
+        assert [int(f["id"]) for f in _sse_frames(body)] == ids
+        _, body = _sse_get(client,
+                           f"/v1/runs/{info['run']}/events?since=1",
+                           headers={"Last-Event-ID": str(cut)})
+        assert [int(f["id"]) for f in _sse_frames(body)] == ids
+
+        # A malformed Last-Event-ID falls back to ?since=.
+        _, body = _sse_get(client, f"/v1/runs/{info['run']}/events",
+                           headers={"Last-Event-ID": "garbage"})
+        assert len(_sse_frames(body)) == len(plain)
+
+    def test_mid_stream_cut_leaves_service_healthy(self, live):
+        client = ServiceClient(live.url)
+        info = client.submit(SPEC, tenant="sse-cut")
+        list(client.events(info["run"]))
+
+        # Open the SSE stream, read a few bytes, then slam the socket
+        # shut mid-frame — the service must shrug it off.
+        conn = http.client.HTTPConnection(client.host, client.port,
+                                          timeout=30)
+        conn.request("GET", f"/v1/runs/{info['run']}/events",
+                     headers={"Accept": "text/event-stream"})
+        response = conn.getresponse()
+        assert response.read(10)  # partial frame consumed
+        response.close()  # abrupt close without draining the stream
+        conn.close()
+
+        assert client.health()["ok"] is True
+        replay = list(client.events(info["run"]))
+        assert replay[-1]["event"] == "RunFinished"
+
+    def test_healthz_reports_version_and_uptime(self, live):
+        health = ServiceClient(live.url).health()
+        import repro
+
+        assert health["version"] == repro.__version__
+        assert isinstance(health["started_at"], float)
+        assert health["started_at"] <= time.time()
+        assert isinstance(health["uptime_s"], float)
+        assert health["uptime_s"] >= 0.0
+        # Legacy keys survive for old clients.
+        assert health["ok"] is True and health["protocol"] == 1
+
+    def test_metrics_404_without_dashboard(self, live):
+        client = ServiceClient(live.url)
+        with pytest.raises(ServeError, match="dashboard"):
+            client.metrics()
+        with pytest.raises(ServeError, match="dashboard"):
+            client._request("GET", "/v1/dashboard")
 
 
 # ---------------------------------------------------------------------------
