@@ -1,11 +1,12 @@
 """Simulator hot-path benchmark: optimized loop vs the frozen seed loop.
 
 Times ``repro.sim.simulate`` (interpreted *and* quasi-static replay,
-``SimulationOptions(replay=True)``) against
-``repro.sim.reference_simulate`` on the five Figure 13 applications at
-two chip sizes, and writes the results to ``BENCH_sim.json`` at the
-repository root (events/sec, wall time, peak event-heap occupancy,
-speedups, replay engagement).  Run with::
+``SimulationOptions(replay=True)``, with and without batched period
+execution) against ``repro.sim.reference_simulate`` on the five
+Figure 13 applications at two chip sizes, and writes the results to
+``BENCH_sim.json`` at the repository root (events/sec, wall time, peak
+event-heap occupancy, speedups, replay engagement, batch coverage).
+Run with::
 
     PYTHONPATH=src python -m pytest benchmarks/test_sim_hotpath.py -q
 
@@ -93,6 +94,22 @@ REPLAY_MIN_SPEEDUP = 2.0
 REPLAY_VS_INTERPRETED_MAX = 1.05
 REPLAY_MIN_ENGAGEMENT = 0.60
 
+#: Batched quasi-static execution (``repro.sim.batch``) bars, same
+#: methodology as the replay bars: the vs-seed ratio swings ±25% with
+#: runner load, so the *defended* floor is the stable in-process ratio —
+#: the batched walk must beat the per-firing walk it specializes
+#: (measured ~0.83x wall) — plus a coverage floor proving the batch
+#: compiler still vectorizes the bulk of the period (measured ~86% of
+#: replayed firings batched; an executor that silently fell back to
+#: scalar would otherwise "pass" at no-batch speed).  The vs-seed floor
+#: is kept above the replay bar so the batch win registers against the
+#: frozen loop too (measured 2.7-3.4x best-of on a loaded runner;
+#: interpreted demotion gaps Amdahl-bound it well below the
+#: batched-region savings).
+BATCH_MIN_SPEEDUP = 2.4
+BATCH_VS_NOBATCH_MAX = 0.95
+BATCH_MIN_COVERAGE = 0.50
+
 #: Telemetry-on wall time may cost at most this factor over telemetry-off
 #: (measured ~2.8x on the headline entry; the bound leaves CI headroom).
 TELEMETRY_MAX_OVERHEAD = 6.0
@@ -100,6 +117,7 @@ TELEMETRY_MAX_OVERHEAD = 6.0
 _entries: list[dict] = []
 _telemetry_entry: dict = {}
 _replay_headline: dict = {}
+_batch_headline: dict = {}
 
 
 @lru_cache(maxsize=None)
@@ -167,6 +185,8 @@ def _write_bench_json():
     }
     if _replay_headline:
         payload["replay_headline"] = _replay_headline
+    if _batch_headline:
+        payload["batch_headline"] = _batch_headline
     if _telemetry_entry:
         payload["telemetry"] = _telemetry_entry
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
@@ -308,6 +328,86 @@ def test_replay_headline_steady_state(benchmark):
         f"replay engagement collapsed on the headline entry: "
         f"{engagement:.0%} of events replayed "
         f"(< {REPLAY_MIN_ENGAGEMENT:.0%}); stats: {rstats.as_dict()}"
+    )
+
+
+def test_batch_headline_steady_state(benchmark):
+    """Batched quasi-static execution vs the per-firing walk and the seed.
+
+    Runs the Figure 1 pipeline (app "5", 64-PE chip) for
+    ``HEADLINE_FRAMES`` frames under three engines — replay with batched
+    execution (the default), replay with ``batch=False`` (the
+    per-firing walk the batch executor specializes), and the frozen
+    seed loop — and asserts the three bars documented at
+    ``BATCH_MIN_SPEEDUP`` above.  The byte-identity of the three runs is
+    proven by the conformance and differential suites; here only a
+    cheap event-count cross-check plus the strategy-ledger invariant
+    (batched + scalar firings exactly cover the no-batch run's scalar
+    count) guard against benchmarking two different schedules.
+    """
+    bench, compiled = _compiled(*HEADLINE)
+    options = SimulationOptions(frames=HEADLINE_FRAMES)
+    batch_options = SimulationOptions(frames=HEADLINE_FRAMES, replay=True)
+    scalar_options = SimulationOptions(
+        frames=HEADLINE_FRAMES, replay=True, batch=False
+    )
+    (bat_wall, sca_wall, ref_wall), (bat, sca, ref) = _best_of_each([
+        lambda: simulate(compiled, batch_options),
+        lambda: simulate(compiled, scalar_options),
+        lambda: reference_simulate(compiled, options),
+    ])
+    assert bat.events_processed == sca.events_processed == ref.events_processed
+    bstats = bat.replay
+    sstats = sca.replay
+    assert bstats is not None and bstats.eligible and bstats.engaged
+    assert sstats.firings_batched == 0
+    assert bstats.firings_batched > 0, (
+        f"batched executor never engaged on the headline entry: "
+        f"{bstats.as_dict()}"
+    )
+    assert (bstats.firings_batched + bstats.firings_scalar
+            == sstats.firings_scalar), (
+        f"strategy ledger mismatch: {bstats.as_dict()} vs {sstats.as_dict()}"
+    )
+
+    once(benchmark, lambda: simulate(compiled, batch_options))
+
+    speedup = ref_wall / bat_wall
+    vs_nobatch = bat_wall / sca_wall
+    walked = bstats.firings_batched + bstats.firings_scalar
+    coverage = bstats.firings_batched / walked
+    _batch_headline.update({
+        "app": HEADLINE[0],
+        "chip": HEADLINE[1],
+        "frames": HEADLINE_FRAMES,
+        "events": bat.events_processed,
+        "wall_s": bat_wall,
+        "nobatch_wall_s": sca_wall,
+        "reference_wall_s": ref_wall,
+        "speedup": speedup,
+        "vs_nobatch": vs_nobatch,
+        "firings_batched": bstats.firings_batched,
+        "firings_scalar": bstats.firings_scalar,
+        "coverage": coverage,
+        "batched_kernels": list(bstats.batched_kernels),
+        "bars": {
+            "min_speedup": BATCH_MIN_SPEEDUP,
+            "vs_nobatch_max": BATCH_VS_NOBATCH_MAX,
+            "min_coverage": BATCH_MIN_COVERAGE,
+        },
+    })
+    assert speedup >= BATCH_MIN_SPEEDUP, (
+        f"batched replay regressed: {speedup:.2f}x < {BATCH_MIN_SPEEDUP}x "
+        f"vs the seed loop on the Figure 1 pipeline"
+    )
+    assert vs_nobatch <= BATCH_VS_NOBATCH_MAX, (
+        f"batched execution lost to the per-firing walk it specializes: "
+        f"{vs_nobatch:.3f}x wall (> {BATCH_VS_NOBATCH_MAX}x); "
+        f"stats: {bstats.as_dict()}"
+    )
+    assert coverage >= BATCH_MIN_COVERAGE, (
+        f"batch coverage collapsed: {coverage:.0%} of replayed firings "
+        f"batched (< {BATCH_MIN_COVERAGE:.0%}); stats: {bstats.as_dict()}"
     )
 
 

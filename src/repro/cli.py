@@ -168,7 +168,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         compiled,
         SimulationOptions(frames=args.frames, faults=fault_spec,
                           telemetry=telemetry_on, noc=noc,
-                          replay=args.replay),
+                          replay=args.replay, batch=args.batch),
     )
     sim_elapsed = time.perf_counter() - sim_started
     path_report = None
@@ -698,6 +698,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="detect the periodic steady state and replay whole "
                         "periods as a quasi-static schedule (bit-identical "
                         "results; see docs/performance.md)")
+    p.add_argument("--batch", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="with --replay, execute a period's vectorizable "
+                        "kernel firings as one batched call per kernel "
+                        "(bit-identical results; --no-batch forces "
+                        "per-firing replay)")
     p.add_argument("--faults", default=None, metavar="FILE",
                    help="inject a fault scenario (JSON FaultSpec file; "
                         "see docs/robustness.md)")

@@ -712,6 +712,52 @@ class Kernel:
         self._ctx.token_writes.append((name, token))
 
     # ------------------------------------------------------------------
+    # Batched execution protocol (quasi-static replay, repro.sim.batch)
+    # ------------------------------------------------------------------
+    def batch_accepts(self, method: str, others: frozenset[str]) -> bool:
+        """Whether ``method`` firings may execute batched across one period.
+
+        The replay engine's batch compiler asks this once per compiled
+        period.  ``others`` names every *other* kind of firing this kernel
+        performs inside the period: token-method names, plus the sentinel
+        ``"<forward>"`` when automatic token forwards occur.  A kernel must
+        decline when any of those interacts with the state ``method`` reads
+        (an ``end_frame`` that rewinds cursors mid-period invalidates a
+        precomputed position sequence; a coefficient reload invalidates a
+        precomputed convolution).  Token methods that only *read* state are
+        safe: batched firings commit their state mutations one op at a
+        time, in schedule order, so interleaved scalar firings observe
+        exactly the state they would under sequential execution.
+
+        The default is ``False``: kernels opt in by implementing
+        :meth:`batched_apply` (usually via a shape base class —
+        elementwise, windowed — rather than per subclass).
+        """
+        return False
+
+    def batched_apply(self, method: str, inputs: Mapping[str, list]):
+        """Execute a whole period's firings of ``method`` at once.
+
+        ``inputs`` maps each consumed port to the list of chunks the n
+        firings would pop, in firing order (all ``float64`` ndarrays of
+        the port's window shape — the engine validates this).  Returns
+        ``(emissions, commit)`` or ``None`` to fall back to per-firing
+        execution for the period:
+
+        * ``emissions``: one list per firing of ``(port, ndarray)`` pairs,
+          byte-identical to what sequential execution would emit;
+        * ``commit``: ``None``, or a callable ``commit(i)`` applying firing
+          ``i``'s state mutation.  The engine invokes it when firing ``i``
+          actually executes, so state stays sequentially exact even when
+          the period demotes to the interpreter halfway through.
+
+        Implementations must not mutate kernel state here — all mutation
+        belongs in ``commit`` — because the engine may discard the batch
+        (and re-execute per firing) at any point before a firing runs.
+        """
+        return None
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def serialize_extra(self) -> dict[str, Any]:

@@ -46,16 +46,38 @@ class BinaryElementwiseKernel(Kernel):
     def compute(self, a: float, b: float) -> float:
         raise NotImplementedError
 
+    def compute_batch(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`compute` over value vectors; bit-identical."""
+        raise NotImplementedError
+
     def run(self) -> None:
         a = float(self.read_input("in0")[0, 0])
         b = float(self.read_input("in1")[0, 0])
         self.write_output("out", np.array([[self.compute(a, b)]]))
+
+    def batch_accepts(self, method: str, others: frozenset[str]) -> bool:
+        # Stateless: forwards only touch token bookkeeping, never the math.
+        return (
+            method == "run"
+            and others <= {"<forward>"}
+            and type(self).compute_batch is not BinaryElementwiseKernel.compute_batch
+        )
+
+    def batched_apply(self, method, inputs):
+        n = len(inputs["in0"])
+        a = np.stack(inputs["in0"]).reshape(n)
+        b = np.stack(inputs["in1"]).reshape(n)
+        out = self.compute_batch(a, b).reshape(n, 1, 1)
+        return [[("out", out[i])] for i in range(n)], None
 
 
 class SubtractKernel(BinaryElementwiseKernel):
     """Per-pixel difference ``in0 - in1`` (Figure 1's Subtract)."""
 
     def compute(self, a: float, b: float) -> float:
+        return a - b
+
+    def compute_batch(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return a - b
 
 
@@ -65,6 +87,9 @@ class AddKernel(BinaryElementwiseKernel):
     def compute(self, a: float, b: float) -> float:
         return a + b
 
+    def compute_batch(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a + b
+
 
 class AbsDiffKernel(BinaryElementwiseKernel):
     """Per-pixel absolute difference ``|in0 - in1|``."""
@@ -72,11 +97,17 @@ class AbsDiffKernel(BinaryElementwiseKernel):
     def compute(self, a: float, b: float) -> float:
         return abs(a - b)
 
+    def compute_batch(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.abs(a - b)
+
 
 class MultiplyKernel(BinaryElementwiseKernel):
     """Per-pixel product ``in0 * in1``."""
 
     def compute(self, a: float, b: float) -> float:
+        return a * b
+
+    def compute_batch(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return a * b
 
 
@@ -95,9 +126,26 @@ class UnaryElementwiseKernel(Kernel):
     def compute(self, value: float) -> float:
         raise NotImplementedError
 
+    def compute_batch(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`compute` over a value vector; bit-identical."""
+        raise NotImplementedError
+
     def run(self) -> None:
         value = float(self.read_input("in")[0, 0])
         self.write_output("out", np.array([[self.compute(value)]]))
+
+    def batch_accepts(self, method: str, others: frozenset[str]) -> bool:
+        return (
+            method == "run"
+            and others <= {"<forward>"}
+            and type(self).compute_batch is not UnaryElementwiseKernel.compute_batch
+        )
+
+    def batched_apply(self, method, inputs):
+        n = len(inputs["in"])
+        values = np.stack(inputs["in"]).reshape(n)
+        out = self.compute_batch(values).reshape(n, 1, 1)
+        return [[("out", out[i])] for i in range(n)], None
 
 
 class ScaleKernel(UnaryElementwiseKernel):
@@ -111,6 +159,9 @@ class ScaleKernel(UnaryElementwiseKernel):
     def compute(self, value: float) -> float:
         return self.gain * value + self.bias
 
+    def compute_batch(self, values: np.ndarray) -> np.ndarray:
+        return self.gain * values + self.bias
+
 
 class ThresholdKernel(UnaryElementwiseKernel):
     """Binary threshold: 1.0 where ``x >= level`` else 0.0."""
@@ -122,6 +173,9 @@ class ThresholdKernel(UnaryElementwiseKernel):
     def compute(self, value: float) -> float:
         return 1.0 if value >= self.level else 0.0
 
+    def compute_batch(self, values: np.ndarray) -> np.ndarray:
+        return (values >= self.level).astype(np.float64)
+
 
 class IdentityKernel(UnaryElementwiseKernel):
     """Pass-through; useful as a pipeline stage anchor for dependency edges."""
@@ -130,3 +184,6 @@ class IdentityKernel(UnaryElementwiseKernel):
 
     def compute(self, value: float) -> float:
         return value
+
+    def compute_batch(self, values: np.ndarray) -> np.ndarray:
+        return values

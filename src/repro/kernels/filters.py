@@ -52,9 +52,26 @@ class WindowedKernel(Kernel):
     def compute(self, window: np.ndarray) -> float:
         raise NotImplementedError
 
+    def compute_batch(self, windows: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`compute` over an ``(n, h, w)`` stack; must be
+        bit-identical to per-window evaluation."""
+        raise NotImplementedError
+
     def run(self) -> None:
         window = self.read_input("in")
         self.write_output("out", np.array([[self.compute(window)]]))
+
+    def batch_accepts(self, method: str, others: frozenset[str]) -> bool:
+        return (
+            method == "run"
+            and others <= {"<forward>"}
+            and type(self).compute_batch is not WindowedKernel.compute_batch
+        )
+
+    def batched_apply(self, method, inputs):
+        wins = np.stack(inputs["in"])
+        out = self.compute_batch(wins).reshape(len(wins), 1, 1)
+        return [[("out", out[i])] for i in range(len(wins))], None
 
 
 class ConvolutionKernel(Kernel):
@@ -134,6 +151,26 @@ class ConvolutionKernel(Kernel):
         self.coeff = self.read_input("coeff").copy()
         self._flipped = None
 
+    def batch_accepts(self, method: str, others: frozenset[str]) -> bool:
+        # A load_coeff inside the period would change the coefficients
+        # between firings, so any period containing one stays per-firing.
+        return (
+            method == "run_convolve"
+            and others <= {"<forward>"}
+            and self.coeff is not None
+        )
+
+    def batched_apply(self, method, inputs):
+        flipped = self._flipped
+        if flipped is None:
+            flipped = self._flipped = np.ascontiguousarray(self.coeff[::-1, ::-1])
+        wins = np.stack(inputs["in"])
+        # Axis-reduction sum, NOT a matmul: np.sum(w * c, axis=(1, 2)) is
+        # bit-identical to the scalar float(np.sum(window * flipped));
+        # reshape @ ravel pairs terms in a different order and is not.
+        acc = np.sum(wins * flipped, axis=(1, 2)).reshape(len(wins), 1, 1)
+        return [[("out", acc[i])] for i in range(len(wins))], None
+
 
 class MedianKernel(WindowedKernel):
     """A ``width x height`` median filter (the 3x3 median of Figure 1).
@@ -156,6 +193,15 @@ class MedianKernel(WindowedKernel):
             return float(np.partition(flat, mid)[mid])
         part = np.partition(flat, (mid - 1, mid))
         return float((part[mid - 1] + part[mid]) / 2.0)
+
+    def compute_batch(self, windows: np.ndarray) -> np.ndarray:
+        flat = windows.reshape(windows.shape[0], -1)
+        n = flat.shape[1]
+        mid = n >> 1
+        if n & 1:
+            return np.partition(flat, mid, axis=1)[:, mid]
+        part = np.partition(flat, (mid - 1, mid), axis=1)
+        return (part[:, mid - 1] + part[:, mid]) / 2.0
 
 
 class SobelKernel(Kernel):
@@ -183,6 +229,16 @@ class SobelKernel(Kernel):
         gx = float(np.sum(window * self._GX))
         gy = float(np.sum(window * self._GY))
         self.write_output("out", np.array([[abs(gx) + abs(gy)]]))
+
+    def batch_accepts(self, method: str, others: frozenset[str]) -> bool:
+        return method == "run" and others <= {"<forward>"}
+
+    def batched_apply(self, method, inputs):
+        wins = np.stack(inputs["in"])
+        gx = np.sum(wins * self._GX, axis=(1, 2))
+        gy = np.sum(wins * self._GY, axis=(1, 2))
+        out = (np.abs(gx) + np.abs(gy)).reshape(len(wins), 1, 1)
+        return [[("out", out[i])] for i in range(len(wins))], None
 
 
 def _gaussian_coeff(width: int, height: int, sigma: float) -> np.ndarray:

@@ -73,6 +73,7 @@ from ..faults import FaultStats
 from ..kernels.sources import ApplicationInput, ApplicationOutput, ConstantSource
 from ..obs.spans import firing_pattern_digest
 from ..tokens import ControlToken
+from .batch import compile_batch_plan
 from .runtime import Firing, build_runtime
 from .simulator import (
     _DELIVER,
@@ -146,6 +147,12 @@ class ReplayStats:
     #: Events executed by the replay executor vs the event loop.
     events_replayed: int = 0
     events_interpreted: int = 0
+    #: Firings executed by the replay executor, split by strategy
+    #: (interpreted-loop firings are counted by neither).
+    firings_batched: int = 0
+    firings_scalar: int = 0
+    #: Kernels the batch compiler vectorized (cumulative over compiles).
+    batched_kernels: list[str] = field(default_factory=list)
     #: Clean hand-backs to the interpreter, by cause.
     demotions: dict[str, int] = field(default_factory=dict)
     #: Hard divergences that restarted the run with replay disabled.
@@ -163,6 +170,9 @@ class ReplayStats:
             "period_fingerprint": self.period_fingerprint,
             "events_replayed": self.events_replayed,
             "events_interpreted": self.events_interpreted,
+            "firings_batched": self.firings_batched,
+            "firings_scalar": self.firings_scalar,
+            "batched_kernels": list(self.batched_kernels),
             "demotions": dict(sorted(self.demotions.items())),
             "restarts": self.restarts,
         }
@@ -175,10 +185,17 @@ class ReplayStats:
         if not self.engaged:
             return "replay: eligible but no period locked; interpreted run"
         demoted = sum(self.demotions.values())
+        fired = self.firings_batched + self.firings_scalar
+        batched = (
+            f"{self.firings_batched}/{fired} firings batched, "
+            if self.firings_batched
+            else ""
+        )
         return (
             f"replay: {self.periods_replayed} periods of "
             f"{self.period_firings} firings replayed "
             f"({share:.0%} of {total} events), "
+            f"{batched}"
             f"{demoted} demotions, {self.restarts} restarts"
         )
 
@@ -488,6 +505,8 @@ class _ReplayEngine:
         raw_plan: list = []     # compiled period, raw-op form
         xplan: list = []        # compiled period, execution form
         xev: list = []          # cumulative event count through xplan[i]
+        bplan = None            # batched-execution groups over xplan
+        batch_on = opts.batch
         src_plan: tuple = ()    # ((source, items-needed, token-pattern), ...)
         plan_len = 0
         plan_fir_len = 0        # firing records per compiled period
@@ -520,10 +539,29 @@ class _ReplayEngine:
             ev_count = 0
             firings = 0
             pattern: list = []
+            # Consecutive no-op polls and parks collapse into one plan op
+            # (code 7): each sub-entry keeps its own state check and its
+            # cumulative event count, so a mid-run mismatch demotes with
+            # exactly the granularity the uncollapsed ops had — only the
+            # per-op dispatch overhead is shed.
+            poll_acc: list = []
+
+            def flush_polls():
+                if not poll_acc:
+                    return
+                if len(poll_acc) == 1:
+                    c, s, e, _p = poll_acc[0]
+                    plan.append((c, s) if e is None else (c, s, e))
+                else:
+                    plan.append((7, tuple(poll_acc)))
+                cum.append(poll_acc[-1][3] + 1)
+                poll_acc.clear()
+
             for op in raw:
                 code = op[0]
                 rel = op[1]
                 if code == _OP_SRC:
+                    flush_polls()
                     idx = op[2]
                     need[idx] = need.get(idx, 0) + op[3]
                     kinds_acc.setdefault(idx, []).extend(op[4])
@@ -532,20 +570,24 @@ class _ReplayEngine:
                     cum.append(ev_count)
                     continue
                 ev_count += 1
-                cum.append(ev_count)
                 if rel and code != _OP_FIN:
                     # Polls pop at their queueing time; a time-advancing
                     # poll means the window is not a real period.
                     return None
                 st = op[2]
+                if code == _OP_RUN:
+                    poll_acc.append((2, st, None, ev_count - 1))
+                    continue
+                if code == _OP_EMPTY:
+                    poll_acc.append((3, st, None, ev_count - 1))
+                    continue
+                if code == _OP_PARK:
+                    poll_acc.append((4, st, st.proc, ev_count - 1))
+                    continue
+                flush_polls()
+                cum.append(ev_count)
                 if code == _OP_FIN:
                     plan.append((1, st, rel))
-                elif code == _OP_RUN:
-                    plan.append((2, st))
-                elif code == _OP_EMPTY:
-                    plan.append((3, st))
-                elif code == _OP_PARK:
-                    plan.append((4, st, st.proc))
                 elif code == _OP_EXEC:
                     if op[7]:
                         # Data-dependent cycle charge observed while
@@ -574,6 +616,7 @@ class _ReplayEngine:
                         pattern.append((st.name, _fkey_label(fkey)))
                         firings += 1
                     plan.append((6, st, tuple(entries)))
+            flush_polls()
             splan = tuple(
                 (sources[idx], n, tuple(kinds_acc[idx]))
                 for idx, n in need.items()
@@ -584,7 +627,7 @@ class _ReplayEngine:
         def compile_plan(n: int, L: int) -> bool:
             nonlocal raw_plan, xplan, xev, src_plan, plan_len, period_events
             nonlocal armed, phase, seeking, match_pos, plan_fir_len
-            nonlocal plan_cyc_start, plan_cyc_replayed
+            nonlocal plan_cyc_start, plan_cyc_replayed, bplan
             s0 = fir_op[n - 3 * L] - base
             s1 = fir_op[n - 2 * L] - base
             s2 = fir_op[n - L] - base
@@ -635,6 +678,18 @@ class _ReplayEngine:
             stats.period_events = period_events_
             stats.period_firings = firings
             stats.period_fingerprint = digest
+            bplan = None
+            if batch_on:
+                try:
+                    bplan = compile_batch_plan(xplan)
+                except Exception:
+                    # A compiler surprise must never cost correctness:
+                    # the period simply replays per-firing.
+                    bplan = None
+                if bplan is not None:
+                    stats.batched_kernels = sorted(
+                        set(stats.batched_kernels) | set(bplan.kernel_names)
+                    )
             return True
 
         def try_detect() -> None:
@@ -885,6 +940,16 @@ class _ReplayEngine:
                                 break
                         if reason is not None:
                             break
+                        # Batch the period's vectorizable firings against
+                        # the freshly prefetched inputs.  A None result
+                        # (or any internal surprise) runs the whole
+                        # period per-firing — nothing was mutated.
+                        prepared = None
+                        if bplan is not None:
+                            try:
+                                prepared = bplan.prepare()
+                            except Exception:
+                                prepared = None
                         try:
                             for oi, op in enumerate(xplan):
                                 code = op[0]
@@ -896,6 +961,41 @@ class _ReplayEngine:
                                         reason = "order"
                                         partial = xev[oi - 1] if oi else 0
                                         break
+                                    b = (prepared[oi]
+                                         if prepared is not None else None)
+                                    if b is not None:
+                                        result, commit, bi, pairs = b
+                                        okb = True
+                                        for ch, pred in pairs:
+                                            # Peek before popping: a head
+                                            # that is not the predicted
+                                            # object demotes DES-exactly,
+                                            # nothing consumed.
+                                            if ch.items[0] is not pred:
+                                                okb = False
+                                                break
+                                        if not okb:
+                                            reason = "batch"
+                                            partial = (xev[oi - 1]
+                                                       if oi else 0)
+                                            break
+                                        for ch, _pred in pairs:
+                                            ch.seqs.popleft()
+                                            ch.items.popleft()
+                                        st.rk.firings += 1
+                                        stats.firings_batched += 1
+                                        ps.read_s += op[5]
+                                        ps.run_s += op[6]
+                                        ps.write_s += op[7]
+                                        ps.firings += 1
+                                        ps.free_at = ft = now + op[8]
+                                        st.running = True
+                                        st.finish_time = ft
+                                        st.finish_result = result
+                                        inflight[st] = None
+                                        if commit is not None:
+                                            commit(bi)
+                                        continue
                                     firing = op[3]
                                     if firing is None:
                                         firing = rebuild_firing(st, op[4])
@@ -905,6 +1005,7 @@ class _ReplayEngine:
                                                        if oi else 0)
                                             break
                                     result = st.execute(firing)
+                                    stats.firings_scalar += 1
                                     ems = result.emissions
                                     esig = op[12]
                                     good = (not result.dynamic
@@ -1057,6 +1158,31 @@ class _ReplayEngine:
                                         partial = ((xev[oi - 1] if oi else 0)
                                                    + n)
                                         break
+                                elif code == 7:  # collapsed poll/park run
+                                    for scode, st, extra, sp in op[1]:
+                                        queued_polls.pop(st, None)
+                                        if scode == 2:
+                                            if not st.running:
+                                                reason = "order"
+                                                partial = sp
+                                                break
+                                        elif scode == 3:
+                                            if (st.running
+                                                    or st.proc.free_at > now):
+                                                reason = "order"
+                                                partial = sp
+                                                break
+                                        else:  # 4: busy park
+                                            if (st.running
+                                                    or extra.free_at <= now):
+                                                reason = "order"
+                                                partial = sp
+                                                break
+                                            pending = extra.pending
+                                            if st not in pending:
+                                                pending.append(st)
+                                    if reason is not None:
+                                        break
                                 elif code == 4:  # busy park
                                     st = op[1]
                                     ps = op[2]
@@ -1097,6 +1223,7 @@ class _ReplayEngine:
                                                     good = False
                                                     break
                                             result = st.execute(firing)
+                                            stats.firings_scalar += 1
                                             ems = result.emissions
                                             aout = 0
                                             if (st.is_output
@@ -1135,6 +1262,7 @@ class _ReplayEngine:
                                             if firing is None:
                                                 break
                                             result = st_execute(firing)
+                                            stats.firings_scalar += 1
                                             if (st.is_output
                                                     and firing.kind
                                                     == "method"):

@@ -133,6 +133,11 @@ class SimulationOptions:
     #: this loop otherwise.  Either way the observable result is
     #: bit-identical — only :attr:`SimulationResult.replay` differs.
     replay: bool = False
+    #: Batched quasi-static kernel execution inside replayed periods
+    #: (``repro.sim.batch``).  Inert without :attr:`replay`.  On by
+    #: default because it is observation-free: batched and per-firing
+    #: execution produce byte-identical results; only wall time differs.
+    batch: bool = True
 
     def __post_init__(self) -> None:
         # Validate up front: a bad knob should name itself here, not
@@ -194,6 +199,11 @@ class SimulationOptions:
             raise SimulationError(
                 "SimulationOptions.replay must be a bool, "
                 f"got {type(self.replay).__name__}"
+            )
+        if not isinstance(self.batch, bool):
+            raise SimulationError(
+                "SimulationOptions.batch must be a bool, "
+                f"got {type(self.batch).__name__}"
             )
 
 

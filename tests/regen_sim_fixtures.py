@@ -26,10 +26,22 @@ Only rerun this when the *observable* simulation semantics intentionally
 change (new cost model, new stat, ...) — never to paper over a divergence
 introduced by a hot-path optimization.  Review the fixture diff: every
 changed field is a behaviour change the PR must justify.
+
+The faulted and NoC goldens are produced by the *optimized* loop, which
+since the batched replay executor landed runs with ``batch=True`` by
+default.  To keep a batching bug from being silently baked into those
+goldens, the script refuses to regenerate them while batching is enabled
+unless every reference-engine fixture (``app_<key>.json`` and
+``app_<key>_replay.json``) is byte-for-byte unchanged by the regen: an
+unchanged base proves the observable semantics did not move, so any
+optimized-loop golden diff would be a real (intended) scenario change,
+not a batch divergence.  If the base fixtures *did* change, rerun with
+``--no-batch`` first, review that diff, commit it, then rerun plain.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
 import sys
@@ -108,10 +120,10 @@ def build_replay_fixture(key: str) -> dict:
     }
 
 
-def build_faulted_fixture() -> dict:
+def build_faulted_fixture(batch: bool = True) -> dict:
     bench, compiled = _compiled(FAULTED_APP)
     options = SimulationOptions(
-        frames=bench.frames, faults=FaultSpec(**FAULT_SPEC)
+        frames=bench.frames, faults=FaultSpec(**FAULT_SPEC), batch=batch
     )
     result = simulate(compiled, options)
     return {
@@ -129,13 +141,13 @@ def build_faulted_fixture() -> dict:
     }
 
 
-def build_noc_fixture() -> dict:
+def build_noc_fixture(batch: bool = True) -> dict:
     bench, compiled = _compiled(NOC_APP)
     chip = ManyCoreChip(
         cols=NOC_MESH[0], rows=NOC_MESH[1], processor=BENCHMARK_PROCESSOR
     )
     noc = NocModel(placement=row_major_placement(compiled.mapping, chip))
-    options = SimulationOptions(frames=bench.frames, noc=noc)
+    options = SimulationOptions(frames=bench.frames, noc=noc, batch=batch)
     result = simulate(compiled, options)
     return {
         "key": bench.key,
@@ -151,33 +163,84 @@ def build_noc_fixture() -> dict:
     }
 
 
-def main() -> int:
+def _serialize(fixture: dict) -> str:
+    return json.dumps(fixture, indent=2, sort_keys=True) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the simulator conformance fixtures."
+    )
+    parser.add_argument(
+        "--no-batch",
+        dest="batch",
+        action="store_false",
+        help=(
+            "regenerate the optimized-loop goldens (faulted, noc) with "
+            "batched replay execution disabled; required when the "
+            "reference-engine fixtures are changing in the same regen"
+        ),
+    )
+    args = parser.parse_args(argv)
+
     FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+
+    # Build the reference-engine (base) fixtures first and diff them
+    # against what is on disk *before* writing anything.
+    base: dict[str, str] = {}
     for key in APP_KEYS:
-        fixture = build_fixture(key)
+        base[f"app_{key}.json"] = _serialize(build_fixture(key))
+        base[f"app_{key}_replay.json"] = _serialize(build_replay_fixture(key))
+    changed = []
+    for name, text in base.items():
+        path = FIXTURE_DIR / name
+        if not path.exists() or path.read_text() != text:
+            changed.append(name)
+
+    if args.batch and changed:
+        print(
+            "refusing to regenerate the optimized-loop goldens with "
+            "batched execution enabled: the reference-engine fixtures "
+            "are not byte-unchanged by this regen:",
+            file=sys.stderr,
+        )
+        for name in changed:
+            print(f"  {name}", file=sys.stderr)
+        print(
+            "An unchanged base is the proof that an optimized-loop golden "
+            "diff is an intended scenario change rather than a batched-"
+            "execution divergence.  Rerun with --no-batch, review and "
+            "commit that diff, then rerun plain to confirm batching "
+            "reproduces it.",
+            file=sys.stderr,
+        )
+        return 1
+
+    for key in APP_KEYS:
+        text = base[f"app_{key}.json"]
         path = FIXTURE_DIR / f"app_{key}.json"
-        path.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
-        golden = fixture["golden"]
+        path.write_text(text)
+        golden = json.loads(text)["golden"]
         print(
             f"app {key}: {golden['events']} events, "
             f"{golden['trace']['events']} trace events -> {path}"
         )
     for key in APP_KEYS:
-        fixture = build_replay_fixture(key)
+        text = base[f"app_{key}_replay.json"]
         path = FIXTURE_DIR / f"app_{key}_replay.json"
-        path.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
+        path.write_text(text)
         print(
-            f"app {key} (replay surface): {fixture['golden']['events']} "
-            f"events -> {path}"
+            f"app {key} (replay surface): "
+            f"{json.loads(text)['golden']['events']} events -> {path}"
         )
-    fixture = build_faulted_fixture()
+    fixture = build_faulted_fixture(batch=args.batch)
     path = FIXTURE_DIR / f"app_{FAULTED_APP}_faulted.json"
-    path.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
+    path.write_text(_serialize(fixture))
     print(f"app {FAULTED_APP} (faulted): {fixture['golden']['events']} "
           f"events -> {path}")
-    fixture = build_noc_fixture()
+    fixture = build_noc_fixture(batch=args.batch)
     path = FIXTURE_DIR / f"app_{NOC_APP}_noc.json"
-    path.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
+    path.write_text(_serialize(fixture))
     print(f"app {NOC_APP} (noc): {fixture['golden']['events']} "
           f"events -> {path}")
     return 0

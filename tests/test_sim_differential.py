@@ -1,4 +1,4 @@
-"""Randomized differential testing: all three engines, one observable.
+"""Randomized differential testing: all four engines, one observable.
 
 The conformance suite pins the five Figure 13 applications; this harness
 complements it with *generated* programs.  A seed-deterministic fuzzer
@@ -6,19 +6,28 @@ builds random linear pipelines from the same kernel palette as
 ``test_random_pipelines`` and runs each through:
 
 * the frozen seed loop (``repro.sim.reference``),
-* the optimized event loop (``repro.sim.simulate``), and
+* the optimized event loop (``repro.sim.simulate``),
 * the quasi-static replay engine (``SimulationOptions(replay=True)``),
+  which batches period firings by default (``repro.sim.batch``), and
+* the same replay engine with batching disabled (``batch=False``),
 
-then asserts the three ``SimulationResult.as_dict()`` canonical forms,
+then asserts the four ``SimulationResult.as_dict()`` canonical forms,
 makespans, and raw output buffers are identical.  Any divergence the
 replay engine's per-op verification fails to catch lands here as a
 digest mismatch with the case's generator seed in the message, so a
 failure reproduces with ``_build_case(random.Random(seed))``.
 
-An aggregate engagement check keeps the harness honest: if the replay
-engine never compiled and replayed a single period across the whole
-fuzz corpus, the differential proof would be vacuous (replay-on would
-just be the event loop twice).
+The batch axis also pins the execution-strategy ledger: with batching
+off every replayed firing is scalar, and the batched run must account
+for exactly the same firings (``firings_batched + firings_scalar``
+equal to the no-batch run's scalar count) — batching may only change
+*how* a planned firing runs, never *whether* it runs.
+
+Two aggregate checks keep the harness honest: if the replay engine
+never compiled and replayed a single period across the whole fuzz
+corpus the differential proof would be vacuous (replay-on would just be
+the event loop twice), and if no corpus case ever batched a firing the
+batch axis would be vacuous too.
 
 See ``docs/performance.md`` ("Debugging a replay divergence") for how to
 use this harness to bisect a divergence to its first mismatched period.
@@ -31,7 +40,9 @@ import random
 
 import numpy as np
 
-from test_random_pipelines import PALETTE
+from hypothesis import given, settings
+
+from test_random_pipelines import PALETTE, pipelines
 
 from repro.geometry import Size2D, Step2D, iteration_grid
 from repro.graph import ApplicationGraph
@@ -89,6 +100,7 @@ def _canonical(result) -> str:
 def test_differential_reference_fast_replay():
     engaged = 0
     events_replayed = 0
+    firings_batched = 0
     for case in range(N_CASES):
         seed = _SEED0 + case
         app, frames = _build_case(random.Random(seed))
@@ -97,10 +109,12 @@ def test_differential_reference_fast_replay():
         )
         opts = SimulationOptions(frames=frames)
         ropts = SimulationOptions(frames=frames, replay=True)
+        sopts = SimulationOptions(frames=frames, replay=True, batch=False)
 
         ref = reference_simulate(compiled, opts)
         fast = simulate(compiled, opts)
         rep = simulate(compiled, ropts)
+        scalar = simulate(compiled, sopts)
 
         cref = _canonical(ref)
         assert _canonical(fast) == cref, (
@@ -110,21 +124,41 @@ def test_differential_reference_fast_replay():
             f"replay diverged from reference (case {case}, seed {seed:#x}): "
             f"{rep.replay.as_dict()}"
         )
-        assert rep.makespan_s == ref.makespan_s == fast.makespan_s
+        assert _canonical(scalar) == cref, (
+            f"no-batch replay diverged from reference "
+            f"(case {case}, seed {seed:#x}): {scalar.replay.as_dict()}"
+        )
+        assert (rep.makespan_s == ref.makespan_s == fast.makespan_s
+                == scalar.makespan_s)
         for name, chunks in ref.outputs.items():
             got = rep.outputs[name]
-            assert len(got) == len(chunks), (case, seed, name)
-            for a, b in zip(chunks, got):
-                assert np.array_equal(a, b), (
+            got_scalar = scalar.outputs[name]
+            assert len(got) == len(chunks) == len(got_scalar), (
+                case, seed, name
+            )
+            for a, b, c in zip(chunks, got, got_scalar):
+                assert np.array_equal(a, b) and np.array_equal(a, c), (
                     f"output buffer mismatch (case {case}, seed {seed:#x}, "
                     f"output {name})"
                 )
 
         stats = rep.replay
         assert stats is not None and stats.eligible
+        # Batching changes *how* planned firings execute, never *whether*:
+        # the batched run's strategy ledger must cover exactly the firings
+        # the no-batch run executed (all scalar there, by construction).
+        sstats = scalar.replay
+        assert sstats.firings_batched == 0, (case, seed)
+        assert (stats.firings_batched + stats.firings_scalar
+                == sstats.firings_scalar), (
+            f"strategy ledger mismatch (case {case}, seed {seed:#x}): "
+            f"batched {stats.firings_batched} + scalar "
+            f"{stats.firings_scalar} != no-batch {sstats.firings_scalar}"
+        )
         if stats.engaged:
             engaged += 1
             events_replayed += stats.events_replayed
+        firings_batched += stats.firings_batched
 
     # Non-vacuity: the corpus must actually exercise the replay executor
     # (measured: 185/200 cases engage, ~38% of all events replayed).
@@ -133,6 +167,45 @@ def test_differential_reference_fast_replay():
         "the differential proof is near-vacuous; retune the generator"
     )
     assert events_replayed > 0
+    # ... and the batched executor (measured: tens of thousands of
+    # batched firings across the corpus).
+    assert firings_batched > 0, (
+        "no fuzzed pipeline batched a single firing — the batch axis of "
+        "the differential proof is vacuous; retune the generator"
+    )
+
+
+@given(pipelines())
+@settings(max_examples=15, deadline=None)
+def test_batch_axis_is_observation_free(case):
+    """Hypothesis form of the batch-axis invariants.
+
+    For arbitrary generated pipelines, disabling batched execution
+    (``SimulationOptions(batch=False)``) must change nothing observable —
+    canonical form, makespan, every output buffer — and the batched
+    run's strategy ledger must account for exactly the firings the
+    scalar run executed (``firings_batched + firings_scalar`` equal to
+    the no-batch run's all-scalar count).
+    """
+    app, extent, rate = case
+    compiled = compile_application(app, _PROC, CompileOptions(mapping="greedy"))
+    on = simulate(compiled, SimulationOptions(frames=2, replay=True))
+    off = simulate(
+        compiled, SimulationOptions(frames=2, replay=True, batch=False)
+    )
+    assert _canonical(on) == _canonical(off), (
+        f"batch changed observables: on={on.replay.as_dict()} "
+        f"off={off.replay.as_dict()}"
+    )
+    assert on.makespan_s == off.makespan_s
+    for name, chunks in off.outputs.items():
+        got = on.outputs[name]
+        assert len(got) == len(chunks)
+        for a, b in zip(chunks, got):
+            assert np.array_equal(a, b)
+    son, soff = on.replay, off.replay
+    assert soff.firings_batched == 0
+    assert son.firings_batched + son.firings_scalar == soff.firings_scalar
 
 
 def test_differential_case_generator_is_deterministic():
